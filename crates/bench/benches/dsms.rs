@@ -1,0 +1,96 @@
+//! DSMS substrate throughput: tuples per second through each operator kind —
+//! backs the "StreamBase" series of Figure 7 and the engine's own claims.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use exacml_dsms::{
+    AggFunc, AggSpec, QueryGraph, QueryGraphBuilder, Schema, StreamEngine, Tuple, Value, WindowSpec,
+};
+use std::time::Duration;
+
+fn weather_tuples(n: usize) -> (Schema, Vec<Tuple>) {
+    let schema = Schema::weather_example();
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::builder(&schema)
+                .set("samplingtime", Value::Timestamp(i as i64 * 30_000))
+                .set("rainrate", (i % 100) as f64)
+                .set("windspeed", (i % 40) as f64)
+                .finish_with_defaults()
+        })
+        .collect();
+    (schema, tuples)
+}
+
+fn graphs() -> Vec<(&'static str, QueryGraph)> {
+    vec![
+        ("identity", QueryGraph::identity("weather")),
+        (
+            "filter",
+            QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 50").unwrap().build(),
+        ),
+        ("map", QueryGraphBuilder::on_stream("weather").map(["samplingtime", "rainrate"]).build()),
+        (
+            "aggregate",
+            QueryGraphBuilder::on_stream("weather")
+                .aggregate(
+                    WindowSpec::tuples(5, 2),
+                    vec![AggSpec::new("rainrate", AggFunc::Avg), AggSpec::new("windspeed", AggFunc::Max)],
+                )
+                .build(),
+        ),
+        (
+            "full_chain",
+            QueryGraphBuilder::on_stream("weather")
+                .filter_str("rainrate > 10")
+                .unwrap()
+                .map(["samplingtime", "rainrate", "windspeed"])
+                .aggregate(WindowSpec::tuples(5, 2), vec![AggSpec::new("rainrate", AggFunc::Avg)])
+                .build(),
+        ),
+    ]
+}
+
+fn bench_dsms(c: &mut Criterion) {
+    const BATCH: usize = 1000;
+    let (schema, tuples) = weather_tuples(BATCH);
+
+    let mut group = c.benchmark_group("dsms_push");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, graph) in graphs() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = StreamEngine::new();
+                    engine.register_stream("weather", schema.clone()).unwrap();
+                    engine.deploy(&graph).unwrap();
+                    engine
+                },
+                |mut engine| {
+                    for t in &tuples {
+                        engine.push("weather", t.clone()).unwrap();
+                    }
+                    engine
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dsms_deploy");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(20);
+    let full = graphs().pop().unwrap().1;
+    group.bench_function("deploy_withdraw", |b| {
+        let mut engine = StreamEngine::new();
+        engine.register_stream("weather", schema.clone()).unwrap();
+        b.iter(|| {
+            let d = engine.deploy(&full).unwrap();
+            engine.withdraw(d.id).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsms);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Query-graph manipulation cost: obligations → graph translation and
+//! policy/user graph merging (the "QueryGraph" series of Figure 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exacml_dsms::{AggFunc, AggSpec, QueryGraphBuilder, Schema, WindowSpec};
+use exacml_plus::{graph_from_obligations, merge_graphs, obligations_from_graph, MergeOptions};
+use std::time::Duration;
+
+fn example_graphs() -> (exacml_dsms::QueryGraph, exacml_dsms::QueryGraph) {
+    let policy = QueryGraphBuilder::on_stream("weather")
+        .filter_str("rainrate > 5 AND windspeed < 30")
+        .unwrap()
+        .map(["samplingtime", "rainrate", "windspeed"])
+        .aggregate(
+            WindowSpec::tuples(5, 2),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("rainrate", AggFunc::Avg),
+                AggSpec::new("windspeed", AggFunc::Max),
+            ],
+        )
+        .build();
+    let user = QueryGraphBuilder::on_stream("weather")
+        .filter_str("rainrate > 50")
+        .unwrap()
+        .map(["samplingtime", "rainrate"])
+        .aggregate(
+            WindowSpec::tuples(10, 2),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("rainrate", AggFunc::Avg),
+            ],
+        )
+        .build();
+    (policy, user)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let (policy, user) = example_graphs();
+    let obligations = obligations_from_graph(&policy);
+    let schema = Schema::weather_example();
+
+    let mut group = c.benchmark_group("query_graph");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group.bench_function("obligations_to_graph", |b| {
+        b.iter(|| graph_from_obligations("weather", &obligations).unwrap());
+    });
+    group.bench_function("merge_with_simplify", |b| {
+        b.iter(|| merge_graphs(&policy, &user, MergeOptions::default()).unwrap());
+    });
+    group.bench_function("merge_concatenate_only", |b| {
+        b.iter(|| {
+            merge_graphs(
+                &policy,
+                &user,
+                MergeOptions { simplify_filters: false, ..MergeOptions::default() },
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("streamsql_generate", |b| {
+        b.iter(|| exacml_dsms::streamsql::generate(&policy, &schema));
+    });
+    let sql = exacml_dsms::streamsql::generate(&policy, &schema);
+    group.bench_function("streamsql_parse", |b| {
+        b.iter(|| exacml_dsms::streamsql::parse(&sql).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

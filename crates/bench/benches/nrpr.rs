@@ -1,0 +1,57 @@
+//! NR/PR conflict-analysis cost vs. condition size — the paper bounds the
+//! procedure by O(k·n²) where k is the number of DNF conjuncts and n their
+//! width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exacml_expr::{analyze_merge, parse_expr};
+use std::time::Duration;
+
+fn conjunctive_condition(terms: usize, offset: usize) -> String {
+    (0..terms)
+        .map(|i| format!("a{i} > {}", i + offset))
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+fn disjunctive_condition(clauses: usize) -> String {
+    (0..clauses)
+        .map(|i| format!("(a > {i} AND b < {})", 100 - i))
+        .collect::<Vec<_>>()
+        .join(" OR ")
+}
+
+fn bench_nrpr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nrpr_conjunct_width");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    for n in [2usize, 4, 8, 16, 32] {
+        let policy = parse_expr(&conjunctive_condition(n, 0)).unwrap();
+        let user = parse_expr(&conjunctive_condition(n, 1)).unwrap();
+        group.bench_with_input(BenchmarkId::new("terms", n), &n, |b, _| {
+            b.iter(|| analyze_merge(&policy, &user));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("nrpr_clause_count");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    for k in [1usize, 2, 4, 8] {
+        let policy = parse_expr(&disjunctive_condition(k)).unwrap();
+        let user = parse_expr("a > 50 AND b < 20").unwrap();
+        group.bench_with_input(BenchmarkId::new("clauses", k), &k, |b, _| {
+            b.iter(|| analyze_merge(&policy, &user));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("expr_pipeline");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    let source = "((a > 20 AND a < 30) OR NOT (a != 40)) AND (NOT (a >= 10) AND b = 20)";
+    group.bench_function("parse", |b| b.iter(|| parse_expr(source).unwrap()));
+    let parsed = parse_expr(source).unwrap();
+    group.bench_function("dnf", |b| b.iter(|| exacml_expr::Dnf::from_expr(&parsed)));
+    group.bench_function("simplify", |b| b.iter(|| exacml_expr::simplify(&parsed)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_nrpr);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! PDP evaluation cost vs. number of loaded policies — backs the Figure 7
+//! claim that the access-control decision stays under a few milliseconds as
+//! the policy store grows from 50 to 1000 policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exacml_plus::StreamPolicyBuilder;
+use exacml_xacml::{Pdp, PolicyStore, Request};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn store_with(n: usize) -> Arc<PolicyStore> {
+    let store = Arc::new(PolicyStore::new());
+    for i in 0..n {
+        let policy = StreamPolicyBuilder::new(format!("p{i}"), "weather")
+            .subject(format!("user{i}"))
+            .filter("rainrate > 5")
+            .visible_attributes(["samplingtime", "rainrate"])
+            .build();
+        store.add(policy).unwrap();
+    }
+    store
+}
+
+fn bench_pdp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdp_evaluate");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    for n in [10usize, 50, 100, 500, 1000] {
+        let pdp = Pdp::new(store_with(n));
+        // The matching policy sits in the middle of the store.
+        let request = Request::subscribe(&format!("user{}", n / 2), "weather");
+        group.bench_with_input(BenchmarkId::new("policies", n), &n, |b, _| {
+            b.iter(|| {
+                let response = pdp.evaluate(&request);
+                assert!(response.is_permit());
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("policy_xml");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    let policy = StreamPolicyBuilder::new("p", "weather")
+        .subject("LTA")
+        .filter("rainrate > 5 AND windspeed < 30")
+        .visible_attributes(["samplingtime", "rainrate", "windspeed"])
+        .build();
+    let xml = exacml_xacml::xml::write_policy(&policy);
+    group.bench_function("write", |b| b.iter(|| exacml_xacml::xml::write_policy(&policy)));
+    group.bench_function("parse", |b| b.iter(|| exacml_xacml::xml::parse_policy(&xml).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdp);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # exacml-bench — experiment harness for the eXACML+ evaluation
+//!
+//! This crate regenerates every table and figure of the paper's Section 4.2
+//! evaluation:
+//!
+//! | artefact | binary |
+//! |---|---|
+//! | Table 3 (workload parameters / corpus summary) | `cargo run -p exacml-bench --release --bin table3` |
+//! | policy loading cost (¶ before Fig. 6) | `cargo run -p exacml-bench --release --bin policy_loading` |
+//! | Figure 6(a) — response-time CDF, unique sequence | `cargo run -p exacml-bench --release --bin fig6a` |
+//! | Figure 6(b) — response-time CDF, Zipf sequence, cache on/off | `cargo run -p exacml-bench --release --bin fig6b` |
+//! | Figure 7(a)/(b) — per-request time decomposition | `cargo run -p exacml-bench --release --bin fig7` |
+//!
+//! The Criterion micro-benchmarks in `benches/` back the per-component
+//! claims (PDP cost vs. policy count, query-graph manipulation, NR/PR
+//! analysis cost, DSMS throughput, proxy cache effect).
+//!
+//! All experiment binaries accept `--small` to run a ~10% scaled workload and
+//! `--json <path>` to dump the raw series for EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    build_environment, fig6a as fig6a_result, fig6b as fig6b_result, fig7 as fig7_result,
+    policy_loading_experiment, run_direct_queries, run_exacml_sequence, Environment, Fig6Result,
+    Fig7Result, PolicyLoadingResult,
+};
+pub use report::{cdf_table, series_table, write_json};

@@ -1,0 +1,155 @@
+//! Text and JSON rendering of experiment results.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Render a set of labelled CDF series as an aligned text table, one row per
+/// cumulative-fraction step (the textual equivalent of Figure 6).
+#[must_use]
+pub fn cdf_table(series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>6}", "CDF"));
+    for (label, _) in series {
+        out.push_str(&format!("  {label:>22}"));
+    }
+    out.push('\n');
+    let rows = series.iter().map(|(_, pts)| pts.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let fraction = series
+            .first()
+            .and_then(|(_, pts)| pts.get(i))
+            .map_or(0.0, |(_, f)| *f);
+        out.push_str(&format!("{fraction:>6.2}"));
+        for (_, pts) in series {
+            match pts.get(i) {
+                Some((x, _)) => out.push_str(&format!("  {:>20.6} s", x)),
+                None => out.push_str(&format!("  {:>22}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render per-request component rows (the textual equivalent of Figure 7).
+#[must_use]
+pub fn series_table(rows: &[(usize, f64, f64, f64, f64)], every: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6}  {:>14}  {:>12}  {:>12}  {:>12}\n",
+        "req#", "total (s)", "PDP (s)", "QueryGraph(s)", "DSMS (s)"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if every > 1 && i % every != 0 && i != rows.len() - 1 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:>6}  {:>14.6}  {:>12.6}  {:>12.6}  {:>12.6}\n",
+            row.0, row.1, row.2, row.3, row.4
+        ));
+    }
+    out
+}
+
+/// Serialize a result structure to pretty JSON at `path`.
+///
+/// # Errors
+/// Propagates I/O and serialization errors.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.as_bytes())
+}
+
+/// Parse the common experiment CLI flags: `--small`, `--json <path>`,
+/// `--requests N`, `--policies N`. Unknown flags are ignored so binaries can
+/// add their own.
+#[derive(Debug, Clone, Default)]
+pub struct CliOptions {
+    /// Run the ~10% workload instead of the full Table 3 parameters.
+    pub small: bool,
+    /// Where to dump the raw JSON series, if requested.
+    pub json: Option<std::path::PathBuf>,
+    /// Override for the number of requests (fig7).
+    pub requests: Option<usize>,
+    /// Override for the number of policies (fig7).
+    pub policies: Option<usize>,
+}
+
+impl CliOptions {
+    /// Parse from `std::env::args`-style strings.
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = CliOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--small" => options.small = true,
+                "--json" => options.json = iter.next().map(Into::into),
+                "--requests" => options.requests = iter.next().and_then(|v| v.parse().ok()),
+                "--policies" => options.policies = iter.next().and_then(|v| v.parse().ok()),
+                _ => {}
+            }
+        }
+        options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_table_aligns_series() {
+        let series = vec![
+            ("a".to_string(), vec![(0.001, 0.5), (0.002, 1.0)]),
+            ("b".to_string(), vec![(0.003, 0.5)]),
+        ];
+        let table = cdf_table(&series);
+        assert!(table.contains("0.50"));
+        assert!(table.contains("1.00"));
+        assert!(table.contains('-'));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn series_table_subsamples() {
+        let rows: Vec<(usize, f64, f64, f64, f64)> =
+            (1..=100).map(|i| (i, 0.01, 0.001, 0.001, 0.002)).collect();
+        let table = series_table(&rows, 10);
+        // Header + ~10 sampled rows + the last row.
+        assert!(table.lines().count() <= 13);
+        assert!(table.contains("req#"));
+    }
+
+    #[test]
+    fn cli_parsing() {
+        let options = CliOptions::parse(
+            ["--small", "--json", "/tmp/x.json", "--requests", "100", "--policies", "50"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(options.small);
+        assert_eq!(options.json.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+        assert_eq!(options.requests, Some(100));
+        assert_eq!(options.policies, Some(50));
+        let default = CliOptions::parse(Vec::<String>::new());
+        assert!(!default.small);
+        assert!(default.json.is_none());
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        #[derive(Serialize)]
+        struct Tiny {
+            x: u32,
+        }
+        let path = std::env::temp_dir().join("exacml_bench_report_test.json");
+        write_json(&path, &Tiny { x: 7 }).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x\": 7"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,203 @@
+//! The single-access-per-(subject, stream) guard (Sections 3.2 and 3.4).
+//!
+//! Step 3 of the PEP workflow: "PEP checks that for the credentials included
+//! in the request, no query is currently being applied to the same data
+//! stream." Allowing multiple simultaneous aggregation windows would let the
+//! requester reconstruct the raw stream (see [`crate::attack`]).
+//!
+//! A repeated request with the *same* customised query is harmless — the
+//! attack needs *different* windows — so the guard answers such re-requests
+//! with the already-granted handle instead of rejecting them; this also lets
+//! the Zipf-distributed evaluation workload (many repeated popular requests)
+//! run without spurious failures.
+
+use crate::error::ExacmlError;
+use exacml_dsms::{DeploymentId, StreamHandle};
+use std::collections::HashMap;
+
+/// What the guard decided about a new request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardOutcome {
+    /// No live access exists; the caller may deploy a new query graph and
+    /// must then call [`AccessGuard::register`].
+    Allowed,
+    /// The same subject already holds the *same* query on this stream; reuse
+    /// the existing handle instead of deploying again.
+    Reuse {
+        /// The handle granted earlier.
+        handle: StreamHandle,
+        /// The deployment behind it.
+        deployment: DeploymentId,
+    },
+}
+
+/// One live access entry.
+#[derive(Debug, Clone)]
+struct ActiveAccess {
+    fingerprint: String,
+    handle: StreamHandle,
+    deployment: DeploymentId,
+}
+
+/// Tracks which (subject, stream) pairs currently hold a live query.
+#[derive(Debug, Default)]
+pub struct AccessGuard {
+    active: HashMap<(String, String), ActiveAccess>,
+}
+
+impl AccessGuard {
+    /// An empty guard.
+    #[must_use]
+    pub fn new() -> Self {
+        AccessGuard::default()
+    }
+
+    fn key(subject: &str, stream: &str) -> (String, String) {
+        (subject.to_ascii_lowercase(), stream.to_ascii_lowercase())
+    }
+
+    /// Check whether `subject` may open a query with `fingerprint` on
+    /// `stream`.
+    ///
+    /// # Errors
+    /// Returns [`ExacmlError::MultipleAccess`] when the subject already holds
+    /// a *different* live query on the stream.
+    pub fn check(
+        &self,
+        subject: &str,
+        stream: &str,
+        fingerprint: &str,
+    ) -> Result<GuardOutcome, ExacmlError> {
+        match self.active.get(&Self::key(subject, stream)) {
+            None => Ok(GuardOutcome::Allowed),
+            Some(existing) if existing.fingerprint == fingerprint => Ok(GuardOutcome::Reuse {
+                handle: existing.handle.clone(),
+                deployment: existing.deployment,
+            }),
+            Some(_) => Err(ExacmlError::MultipleAccess {
+                subject: subject.to_string(),
+                stream: stream.to_string(),
+            }),
+        }
+    }
+
+    /// Record a granted access.
+    pub fn register(
+        &mut self,
+        subject: &str,
+        stream: &str,
+        fingerprint: impl Into<String>,
+        handle: StreamHandle,
+        deployment: DeploymentId,
+    ) {
+        self.active.insert(
+            Self::key(subject, stream),
+            ActiveAccess { fingerprint: fingerprint.into(), handle, deployment },
+        );
+    }
+
+    /// Release the access a subject holds on a stream (e.g. when the client
+    /// disconnects or the policy is withdrawn). Returns the deployment that
+    /// was backing it, if any.
+    pub fn release(&mut self, subject: &str, stream: &str) -> Option<DeploymentId> {
+        self.active.remove(&Self::key(subject, stream)).map(|a| a.deployment)
+    }
+
+    /// Release every access backed by one of the given deployments (used
+    /// when a policy removal withdraws its query graphs). Returns how many
+    /// accesses were released.
+    pub fn release_deployments(&mut self, deployments: &[DeploymentId]) -> usize {
+        let before = self.active.len();
+        self.active.retain(|_, access| !deployments.contains(&access.deployment));
+        before - self.active.len()
+    }
+
+    /// Number of live accesses.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether a subject currently holds any access on a stream.
+    #[must_use]
+    pub fn is_active(&self, subject: &str, stream: &str) -> bool {
+        self.active.contains_key(&Self::key(subject, stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(n: u64) -> StreamHandle {
+        StreamHandle::mint("dsms", n)
+    }
+
+    #[test]
+    fn first_access_is_allowed_and_then_tracked() {
+        let mut guard = AccessGuard::new();
+        assert_eq!(guard.check("LTA", "weather", "q1").unwrap(), GuardOutcome::Allowed);
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
+        assert!(guard.is_active("LTA", "weather"));
+        assert_eq!(guard.active_count(), 1);
+    }
+
+    #[test]
+    fn same_query_again_reuses_the_existing_handle() {
+        let mut guard = AccessGuard::new();
+        guard.register("LTA", "weather", "q1", handle(7), DeploymentId(7));
+        match guard.check("LTA", "weather", "q1").unwrap() {
+            GuardOutcome::Reuse { handle: h, deployment } => {
+                assert_eq!(h, handle(7));
+                assert_eq!(deployment, DeploymentId(7));
+            }
+            other => panic!("expected Reuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_query_on_same_stream_is_rejected() {
+        let mut guard = AccessGuard::new();
+        guard.register("LTA", "weather", "window-size-3", handle(1), DeploymentId(1));
+        // Example 2: the second, differently-sized window must be refused.
+        let err = guard.check("LTA", "weather", "window-size-4").unwrap_err();
+        assert!(matches!(err, ExacmlError::MultipleAccess { .. }));
+    }
+
+    #[test]
+    fn different_subject_or_stream_is_independent() {
+        let mut guard = AccessGuard::new();
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
+        assert_eq!(guard.check("EMA", "weather", "q2").unwrap(), GuardOutcome::Allowed);
+        assert_eq!(guard.check("LTA", "gps", "q2").unwrap(), GuardOutcome::Allowed);
+    }
+
+    #[test]
+    fn keys_are_case_insensitive() {
+        let mut guard = AccessGuard::new();
+        guard.register("LTA", "Weather", "q1", handle(1), DeploymentId(1));
+        assert!(guard.is_active("lta", "weather"));
+        assert!(guard.check("lta", "WEATHER", "q2").is_err());
+    }
+
+    #[test]
+    fn release_frees_the_slot() {
+        let mut guard = AccessGuard::new();
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
+        assert_eq!(guard.release("LTA", "weather"), Some(DeploymentId(1)));
+        assert_eq!(guard.release("LTA", "weather"), None);
+        assert_eq!(guard.check("LTA", "weather", "q2").unwrap(), GuardOutcome::Allowed);
+    }
+
+    #[test]
+    fn release_by_deployment_handles_policy_withdrawal() {
+        let mut guard = AccessGuard::new();
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
+        guard.register("EMA", "weather", "q2", handle(2), DeploymentId(2));
+        guard.register("NEA", "gps", "q3", handle(3), DeploymentId(3));
+        let released = guard.release_deployments(&[DeploymentId(1), DeploymentId(3)]);
+        assert_eq!(released, 2);
+        assert!(!guard.is_active("LTA", "weather"));
+        assert!(guard.is_active("EMA", "weather"));
+    }
+}

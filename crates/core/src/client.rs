@@ -1,0 +1,164 @@
+//! The client interface.
+//!
+//! The last entity of Figure 3: the data consumer's library. It sends access
+//! requests (optionally with a customised query) through the proxy, adds the
+//! client↔proxy network hop to the measured response time, and offers the
+//! *direct-query* path used as the evaluation baseline — a StreamSQL script
+//! sent straight to the DSMS with no access control at all.
+
+use crate::error::ExacmlError;
+use crate::metrics::RequestTiming;
+use crate::proxy::Proxy;
+use crate::server::AccessResponse;
+use crate::user_query::UserQuery;
+use exacml_dsms::StreamHandle;
+use exacml_simnet::NodeId;
+use exacml_xacml::Request;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of a client request.
+pub type RequestResult = Result<AccessResponse, ExacmlError>;
+
+/// The client interface entity.
+pub struct ClientInterface {
+    proxy: Arc<Proxy>,
+    rng: Mutex<StdRng>,
+}
+
+impl ClientInterface {
+    /// A client talking to the given proxy.
+    #[must_use]
+    pub fn new(proxy: Arc<Proxy>) -> Self {
+        let seed = proxy.server().config().seed.wrapping_add(2);
+        ClientInterface { proxy, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The proxy this client talks to.
+    #[must_use]
+    pub fn proxy(&self) -> &Arc<Proxy> {
+        &self.proxy
+    }
+
+    /// Request access to a stream, optionally refined by a customised query.
+    /// The returned timing includes every hop: client ↔ proxy ↔ data server
+    /// ↔ DSMS.
+    ///
+    /// # Errors
+    /// Propagates denial, conflict and substrate errors.
+    pub fn request_access(
+        &self,
+        subject: &str,
+        stream: &str,
+        user_query: Option<&UserQuery>,
+    ) -> RequestResult {
+        let started = Instant::now();
+        let request = Request::subscribe(subject, stream);
+        // Client → proxy hop: the request (and query) out, the handle back.
+        let request_bytes = exacml_xacml::xml::write_request(&request).len()
+            + user_query.map_or(0, |q| q.to_xml().len());
+        let network = {
+            let mut rng = self.rng.lock();
+            self.proxy.server().topology().round_trip(
+                NodeId::Client,
+                NodeId::Proxy,
+                request_bytes,
+                128,
+                &mut *rng,
+            )
+        };
+        let mut response = self.proxy.request(&request, user_query)?;
+        response.timing.network += network;
+        response.timing.total = started.elapsed() + response.timing.network;
+        Ok(response)
+    }
+
+    /// The direct-query baseline: send a StreamSQL script straight to the
+    /// DSMS, bypassing the whole access-control stack (Section 4.2's
+    /// "direct-query system").
+    ///
+    /// # Errors
+    /// Fails when the script does not parse or cannot be deployed.
+    pub fn direct_query(&self, script: &str) -> Result<(StreamHandle, RequestTiming), ExacmlError> {
+        let started = Instant::now();
+        let (handle, mut timing) = self.proxy.server().direct_deploy(script)?;
+        timing.total = started.elapsed() + timing.network;
+        Ok((handle, timing))
+    }
+
+    /// Release the access this subject holds on a stream (so another
+    /// customised query can be issued later).
+    pub fn release(&self, subject: &str, stream: &str) -> bool {
+        self.proxy.server().release_access(subject, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obligations::StreamPolicyBuilder;
+    use crate::server::{DataServer, ServerConfig};
+    use exacml_dsms::{streamsql, QueryGraphBuilder, Schema};
+
+    fn client_setup() -> ClientInterface {
+        let server = Arc::new(DataServer::new(ServerConfig::local()));
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy = StreamPolicyBuilder::new("weather-lta", "weather")
+            .subject("LTA")
+            .filter("rainrate > 5")
+            .build();
+        server.load_policy(policy).unwrap();
+        ClientInterface::new(Arc::new(Proxy::new(server)))
+    }
+
+    #[test]
+    fn end_to_end_access_through_proxy() {
+        let client = client_setup();
+        let response = client.request_access("LTA", "weather", None).unwrap();
+        assert!(response.handle.uri().starts_with("exacml://"));
+        assert!(response.timing.total >= response.timing.network);
+        // Second identical request is served from the proxy cache.
+        let again = client.request_access("LTA", "weather", None).unwrap();
+        assert!(again.reused);
+        assert_eq!(client.proxy().stats().hits, 1);
+    }
+
+    #[test]
+    fn denied_access_propagates() {
+        let client = client_setup();
+        assert!(matches!(
+            client.request_access("EMA", "weather", None),
+            Err(ExacmlError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn direct_query_baseline_works_without_policies() {
+        let client = client_setup();
+        let graph = QueryGraphBuilder::on_stream("weather")
+            .filter_str("windspeed > 20")
+            .unwrap()
+            .build();
+        let script = streamsql::generate(&graph, &Schema::weather_example());
+        let (handle, timing) = client.direct_query(&script).unwrap();
+        assert!(client.proxy().server().handle_is_live(&handle));
+        assert_eq!(timing.pdp, std::time::Duration::ZERO);
+        assert!(timing.total >= timing.dsms);
+    }
+
+    #[test]
+    fn release_allows_a_new_customised_query() {
+        let client = client_setup();
+        client.request_access("LTA", "weather", None).unwrap();
+        let query = UserQuery::for_stream("weather").with_filter("rainrate > 50");
+        assert!(matches!(
+            client.request_access("LTA", "weather", Some(&query)),
+            Err(ExacmlError::MultipleAccess { .. })
+        ));
+        assert!(client.release("LTA", "weather"));
+        assert!(client.request_access("LTA", "weather", Some(&query)).is_ok());
+    }
+}

@@ -1,0 +1,155 @@
+//! Query-graph management (Section 3.3).
+//!
+//! Unlike the bounded-data eXACML system, where every request re-consults the
+//! PDP, a stream consumer keeps using the handle it was given long after the
+//! decision was made. If the owner later removes or modifies the policy, the
+//! consumer must lose access immediately: "whenever a policy has been removed
+//! or modified by the user, all query graphs that are spawned by the policy
+//! are immediately withdrawn from back-end data stream engines."
+//!
+//! [`QueryGraphManager`] is that bookkeeping: every deployment is recorded
+//! against the policy that authorised it (plus the requesting subject and the
+//! stream), so policy-change events can name exactly the deployments to
+//! withdraw.
+
+use exacml_dsms::{DeploymentId, QueryGraph, StreamHandle};
+use std::collections::HashMap;
+
+/// One tracked deployment.
+#[derive(Debug, Clone)]
+pub struct TrackedGraph {
+    /// The deployment the DSMS assigned.
+    pub deployment: DeploymentId,
+    /// The handle handed to the client.
+    pub handle: StreamHandle,
+    /// The policy that authorised the deployment.
+    pub policy_id: String,
+    /// The subject the deployment serves.
+    pub subject: String,
+    /// The source stream.
+    pub stream: String,
+    /// The merged query graph that was deployed.
+    pub graph: QueryGraph,
+}
+
+/// Bookkeeping of live deployments, indexed by policy.
+#[derive(Debug, Default)]
+pub struct QueryGraphManager {
+    by_deployment: HashMap<DeploymentId, TrackedGraph>,
+}
+
+impl QueryGraphManager {
+    /// An empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryGraphManager::default()
+    }
+
+    /// Record a deployment.
+    pub fn track(&mut self, entry: TrackedGraph) {
+        self.by_deployment.insert(entry.deployment, entry);
+    }
+
+    /// Forget a single deployment (e.g. the client released it).
+    pub fn untrack(&mut self, deployment: DeploymentId) -> Option<TrackedGraph> {
+        self.by_deployment.remove(&deployment)
+    }
+
+    /// All deployments spawned by one policy.
+    #[must_use]
+    pub fn deployments_of_policy(&self, policy_id: &str) -> Vec<DeploymentId> {
+        let mut ids: Vec<DeploymentId> = self
+            .by_deployment
+            .values()
+            .filter(|t| t.policy_id == policy_id)
+            .map(|t| t.deployment)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Remove every deployment spawned by one policy from the bookkeeping,
+    /// returning the removed entries (the caller withdraws them from the
+    /// engine and releases the access-guard slots).
+    pub fn evict_policy(&mut self, policy_id: &str) -> Vec<TrackedGraph> {
+        let ids = self.deployments_of_policy(policy_id);
+        ids.iter().filter_map(|id| self.by_deployment.remove(id)).collect()
+    }
+
+    /// The entry behind a handle, if tracked.
+    #[must_use]
+    pub fn find_by_handle(&self, handle: &StreamHandle) -> Option<&TrackedGraph> {
+        self.by_deployment.values().find(|t| &t.handle == handle)
+    }
+
+    /// Number of live tracked deployments.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.by_deployment.len()
+    }
+
+    /// Number of live deployments per policy (sorted by policy id), useful
+    /// for observability and tests.
+    #[must_use]
+    pub fn per_policy_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for t in self.by_deployment.values() {
+            *counts.entry(t.policy_id.clone()).or_default() += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dep: u64, policy: &str, subject: &str) -> TrackedGraph {
+        TrackedGraph {
+            deployment: DeploymentId(dep),
+            handle: StreamHandle::mint("dsms", dep),
+            policy_id: policy.to_string(),
+            subject: subject.to_string(),
+            stream: "weather".to_string(),
+            graph: QueryGraph::identity("weather"),
+        }
+    }
+
+    #[test]
+    fn tracking_and_lookup() {
+        let mut mgr = QueryGraphManager::new();
+        mgr.track(entry(1, "p1", "LTA"));
+        mgr.track(entry(2, "p1", "EMA"));
+        mgr.track(entry(3, "p2", "LTA"));
+        assert_eq!(mgr.live_count(), 3);
+        assert_eq!(mgr.deployments_of_policy("p1"), vec![DeploymentId(1), DeploymentId(2)]);
+        assert_eq!(mgr.deployments_of_policy("p3"), vec![]);
+        let handle = StreamHandle::mint("dsms", 3);
+        assert_eq!(mgr.find_by_handle(&handle).unwrap().policy_id, "p2");
+        assert_eq!(mgr.per_policy_counts(), vec![("p1".to_string(), 2), ("p2".to_string(), 1)]);
+    }
+
+    #[test]
+    fn evicting_a_policy_removes_only_its_graphs() {
+        let mut mgr = QueryGraphManager::new();
+        mgr.track(entry(1, "p1", "LTA"));
+        mgr.track(entry(2, "p1", "EMA"));
+        mgr.track(entry(3, "p2", "LTA"));
+        let evicted = mgr.evict_policy("p1");
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(mgr.live_count(), 1);
+        assert!(mgr.deployments_of_policy("p1").is_empty());
+        assert_eq!(mgr.deployments_of_policy("p2"), vec![DeploymentId(3)]);
+    }
+
+    #[test]
+    fn untrack_single_deployment() {
+        let mut mgr = QueryGraphManager::new();
+        mgr.track(entry(1, "p1", "LTA"));
+        assert!(mgr.untrack(DeploymentId(1)).is_some());
+        assert!(mgr.untrack(DeploymentId(1)).is_none());
+        assert_eq!(mgr.live_count(), 0);
+    }
+}

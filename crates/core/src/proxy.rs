@@ -1,0 +1,278 @@
+//! The proxy with a stream-handle cache.
+//!
+//! The eXACML+ architecture (Figure 3a) puts a proxy between the clients and
+//! the data server. Unlike the archived-data eXACML system, what the proxy
+//! caches is not data but **stream handles**, "whose sizes are significantly
+//! smaller", so the improvement is less dramatic — but under a heavy-tailed
+//! (Zipf) request distribution the paper still measures a substantial gain
+//! (Figure 6b). [`Proxy::request`] answers repeated identical requests from
+//! its cache without touching the PDP at all.
+
+use crate::error::ExacmlError;
+use crate::metrics::RequestTiming;
+use crate::server::{AccessResponse, DataServer};
+use crate::user_query::UserQuery;
+use exacml_simnet::NodeId;
+use exacml_xacml::Request;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Proxy counters (cache effectiveness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyStats {
+    /// Requests the proxy handled.
+    pub requests: u64,
+    /// Requests answered from the handle cache.
+    pub hits: u64,
+    /// Requests forwarded to the data server.
+    pub misses: u64,
+}
+
+impl ProxyStats {
+    /// Cache hit rate in [0, 1].
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The proxy entity.
+pub struct Proxy {
+    server: Arc<DataServer>,
+    cache_enabled: bool,
+    cache: Mutex<HashMap<String, AccessResponse>>,
+    rng: Mutex<StdRng>,
+    stats: Mutex<ProxyStats>,
+}
+
+impl Proxy {
+    /// A proxy in front of a data server, with the handle cache enabled.
+    #[must_use]
+    pub fn new(server: Arc<DataServer>) -> Self {
+        Proxy::with_cache(server, true)
+    }
+
+    /// A proxy with the cache explicitly enabled or disabled (the Figure 6b
+    /// comparison).
+    #[must_use]
+    pub fn with_cache(server: Arc<DataServer>, cache_enabled: bool) -> Self {
+        let seed = server.config().seed.wrapping_add(1);
+        Proxy {
+            server,
+            cache_enabled,
+            cache: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats: Mutex::new(ProxyStats::default()),
+        }
+    }
+
+    /// The data server behind the proxy.
+    #[must_use]
+    pub fn server(&self) -> &Arc<DataServer> {
+        &self.server
+    }
+
+    /// Whether the handle cache is enabled.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Cache-effectiveness counters.
+    #[must_use]
+    pub fn stats(&self) -> ProxyStats {
+        *self.stats.lock()
+    }
+
+    /// Drop every cached handle.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    fn cache_key(request: &Request, user_query: Option<&UserQuery>) -> String {
+        let subject = request.subject_id().unwrap_or("<none>").to_ascii_lowercase();
+        let stream = request.resource_id().unwrap_or("<none>").to_ascii_lowercase();
+        let action = request.action_id().unwrap_or("subscribe").to_ascii_lowercase();
+        let query = user_query.map_or_else(|| "<identity>".to_string(), UserQuery::fingerprint);
+        format!("{subject}|{stream}|{action}|{query}")
+    }
+
+    /// Handle one request at the proxy: answer from the cache when possible,
+    /// otherwise forward to the data server (charging the proxy↔server
+    /// network hop) and cache the resulting handle.
+    ///
+    /// # Errors
+    /// Propagates every server-side error on a cache miss.
+    pub fn request(
+        &self,
+        request: &Request,
+        user_query: Option<&UserQuery>,
+    ) -> Result<AccessResponse, ExacmlError> {
+        let started = Instant::now();
+        self.stats.lock().requests += 1;
+        let key = Self::cache_key(request, user_query);
+
+        if self.cache_enabled {
+            let cached = self.cache.lock().get(&key).cloned();
+            if let Some(mut response) = cached {
+                // A cached handle may have been withdrawn by a policy change;
+                // verify liveness before serving it.
+                if self.server.handle_is_live(&response.handle) {
+                    self.stats.lock().hits += 1;
+                    response.reused = true;
+                    response.timing = RequestTiming {
+                        pdp: Duration::ZERO,
+                        query_graph: Duration::ZERO,
+                        dsms: Duration::ZERO,
+                        network: Duration::ZERO,
+                        total: started.elapsed(),
+                    };
+                    return Ok(response);
+                }
+                self.cache.lock().remove(&key);
+            }
+        }
+
+        self.stats.lock().misses += 1;
+        // Charge the proxy → data-server hop: the request document plus the
+        // user query go out, the handle comes back.
+        let request_bytes = exacml_xacml::xml::write_request(request).len()
+            + user_query.map_or(0, |q| q.to_xml().len());
+        let network = {
+            let mut rng = self.rng.lock();
+            self.server.topology().round_trip(
+                NodeId::Proxy,
+                NodeId::DataServer,
+                request_bytes,
+                128,
+                &mut *rng,
+            )
+        };
+        let mut response = self.server.handle_request(request, user_query)?;
+        response.timing.network += network;
+        response.timing.total = started.elapsed() + response.timing.network;
+
+        if self.cache_enabled {
+            self.cache.lock().insert(key, response.clone());
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obligations::StreamPolicyBuilder;
+    use crate::server::ServerConfig;
+    use exacml_dsms::Schema;
+
+    fn proxy_setup(cache: bool) -> Proxy {
+        let server = Arc::new(DataServer::new(ServerConfig::local()));
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        for subject in ["LTA", "EMA", "PUB"] {
+            let policy = StreamPolicyBuilder::new(format!("weather-{subject}"), "weather")
+                .subject(subject)
+                .filter("rainrate > 5")
+                .build();
+            server.load_policy(policy).unwrap();
+        }
+        Proxy::with_cache(server, cache)
+    }
+
+    #[test]
+    fn cache_hit_avoids_the_server_round_trip() {
+        let proxy = proxy_setup(true);
+        let request = Request::subscribe("LTA", "weather");
+        let first = proxy.request(&request, None).unwrap();
+        assert!(!first.reused);
+        let second = proxy.request(&request, None).unwrap();
+        assert!(second.reused);
+        assert_eq!(first.handle, second.handle);
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Cache hits skip the PDP entirely.
+        assert_eq!(second.timing.pdp, Duration::ZERO);
+        assert_eq!(proxy.cached_entries(), 1);
+    }
+
+    #[test]
+    fn cache_disabled_always_forwards() {
+        let proxy = proxy_setup(false);
+        let request = Request::subscribe("LTA", "weather");
+        proxy.request(&request, None).unwrap();
+        let second = proxy.request(&request, None).unwrap();
+        // The server still answers (idempotent re-request), but it was not a
+        // proxy cache hit.
+        assert_eq!(proxy.stats().hits, 0);
+        assert_eq!(proxy.stats().misses, 2);
+        assert!(second.reused); // served by the server's access guard
+        assert_eq!(proxy.cached_entries(), 0);
+    }
+
+    #[test]
+    fn different_subjects_get_different_cache_entries() {
+        let proxy = proxy_setup(true);
+        proxy.request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        proxy.request(&Request::subscribe("EMA", "weather"), None).unwrap();
+        assert_eq!(proxy.cached_entries(), 2);
+        assert_eq!(proxy.stats().hits, 0);
+    }
+
+    #[test]
+    fn stale_cache_entries_are_refreshed_after_policy_removal() {
+        let proxy = proxy_setup(true);
+        let request = Request::subscribe("LTA", "weather");
+        let first = proxy.request(&request, None).unwrap();
+        // The owner removes and re-creates the policy; the cached handle dies.
+        proxy.server().remove_policy("weather-LTA").unwrap();
+        let policy = StreamPolicyBuilder::new("weather-LTA", "weather")
+            .subject("LTA")
+            .filter("rainrate > 50")
+            .build();
+        proxy.server().load_policy(policy).unwrap();
+
+        let second = proxy.request(&request, None).unwrap();
+        assert_ne!(first.handle, second.handle);
+        assert!(!second.reused);
+        assert!(second.streamsql.contains("rainrate > 50"));
+        // The stale entry counted as a miss, not a hit.
+        assert_eq!(proxy.stats().hits, 0);
+    }
+
+    #[test]
+    fn denied_requests_are_not_cached() {
+        let proxy = proxy_setup(true);
+        let request = Request::subscribe("UNKNOWN", "weather");
+        assert!(proxy.request(&request, None).is_err());
+        assert_eq!(proxy.cached_entries(), 0);
+    }
+
+    #[test]
+    fn clear_cache_forces_forwarding() {
+        let proxy = proxy_setup(true);
+        let request = Request::subscribe("LTA", "weather");
+        proxy.request(&request, None).unwrap();
+        proxy.clear_cache();
+        proxy.request(&request, None).unwrap();
+        assert_eq!(proxy.stats().hits, 0);
+        assert_eq!(proxy.stats().misses, 2);
+    }
+}

@@ -1,0 +1,810 @@
+//! The cloud data server.
+//!
+//! The data server of Figure 3 hosts the policy store, the PDP, the PEP
+//! logic (obligation translation, query-graph merging, NR/PR checking, the
+//! single-access guard and the query-graph manager) and talks to the DSMS.
+//! Its entry point, [`DataServer::handle_request`], implements the five-step
+//! workflow of Section 3.2:
+//!
+//! 1. receive the access request plus the optional customised query;
+//! 2. ask the PDP for a decision; on Permit, derive a query graph from the
+//!    obligations;
+//! 3. check that the requester holds no other live query on the stream;
+//! 4. merge the obligation graph with the user-query graph, checking NR/PR;
+//! 5. if no warning blocks deployment, convert the merged graph to StreamSQL,
+//!    send it to the DSMS and return the output-stream handle (URI).
+
+use crate::access_guard::{AccessGuard, GuardOutcome};
+use crate::audit::{AuditEventKind, AuditLog};
+use crate::error::ExacmlError;
+use crate::graph_mgmt::{QueryGraphManager, TrackedGraph};
+use crate::merge::{merge_graphs, MergeOptions};
+use crate::metrics::RequestTiming;
+use crate::obligations::graph_from_obligations;
+use crate::user_query::UserQuery;
+use crate::warnings::{has_empty_result, has_partial_result, Warning};
+use exacml_dsms::{
+    streamsql, DeploymentId, QueryGraph, Schema, StreamEngine, StreamHandle, Tuple,
+};
+use exacml_simnet::{NodeId, Topology};
+use exacml_xacml::{Decision, Pdp, Policy, PolicyStore, Request};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the data server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Options for merging policy and user-query graphs.
+    pub merge: MergeOptions,
+    /// Deploy anyway when only partial-result warnings were raised (the
+    /// paper's workflow deploys only when *no* warning was detected, which is
+    /// the default here; the warnings are returned to the caller either way).
+    pub deploy_on_partial_result: bool,
+    /// The deployment topology used to charge simulated network time.
+    pub topology: Topology,
+    /// Seed for the network-delay sampling (reproducible experiments).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            merge: MergeOptions::default(),
+            deploy_on_partial_result: false,
+            topology: Topology::paper_testbed(),
+            seed: 42,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A configuration with everything co-located in one process (loopback
+    /// links), used by unit tests and the quickstart example.
+    #[must_use]
+    pub fn local() -> Self {
+        ServerConfig { topology: Topology::local(), ..ServerConfig::default() }
+    }
+}
+
+/// The answer returned for a granted access request.
+#[derive(Debug, Clone)]
+pub struct AccessResponse {
+    /// The handle (URI) of the derived output stream.
+    pub handle: StreamHandle,
+    /// Schema of the derived output stream.
+    pub output_schema: Arc<Schema>,
+    /// The deployment backing the handle.
+    pub deployment: DeploymentId,
+    /// The policy that authorised the access.
+    pub policy_id: String,
+    /// Non-blocking warnings raised while merging (partial results when the
+    /// server is configured to deploy despite them).
+    pub warnings: Vec<Warning>,
+    /// The StreamSQL script that was sent to the DSMS.
+    pub streamsql: String,
+    /// Whether an existing identical access was reused instead of deploying
+    /// a new graph.
+    pub reused: bool,
+    /// The timing decomposition of this request.
+    pub timing: RequestTiming,
+}
+
+/// The data server.
+pub struct DataServer {
+    config: ServerConfig,
+    store: Arc<PolicyStore>,
+    pdp: Pdp,
+    engine: Mutex<StreamEngine>,
+    graphs: Mutex<QueryGraphManager>,
+    guard: Mutex<AccessGuard>,
+    rng: Mutex<StdRng>,
+    policy_load_times: Mutex<Vec<Duration>>,
+    audit: Mutex<AuditLog>,
+}
+
+impl DataServer {
+    /// Create a server with the given configuration.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        let store = Arc::new(PolicyStore::new());
+        let pdp = Pdp::new(Arc::clone(&store));
+        let rng = StdRng::seed_from_u64(config.seed);
+        DataServer {
+            config,
+            store,
+            pdp,
+            engine: Mutex::new(StreamEngine::new()),
+            graphs: Mutex::new(QueryGraphManager::new()),
+            guard: Mutex::new(AccessGuard::new()),
+            rng: Mutex::new(rng),
+            policy_load_times: Mutex::new(Vec::new()),
+            audit: Mutex::new(AuditLog::default()),
+        }
+    }
+
+    /// A server with the default (paper-testbed) configuration.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        DataServer::new(ServerConfig::default())
+    }
+
+    /// The server's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The deployment topology (shared with proxy and client wrappers).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// The policy store (for inspection in tests and tools).
+    #[must_use]
+    pub fn policy_store(&self) -> &Arc<PolicyStore> {
+        &self.store
+    }
+
+    /// A snapshot of the audit trail (accountability hook — the paper's
+    /// stated next challenge beyond the trusted-cloud model).
+    #[must_use]
+    pub fn audit_events(&self) -> Vec<crate::audit::AuditEvent> {
+        self.audit.lock().events()
+    }
+
+    /// Audit events involving one subject.
+    #[must_use]
+    pub fn audit_events_for_subject(&self, subject: &str) -> Vec<crate::audit::AuditEvent> {
+        self.audit.lock().by_subject(subject)
+    }
+
+    // --- stream management -------------------------------------------------
+
+    /// Register an input stream on the back-end DSMS.
+    ///
+    /// # Errors
+    /// Fails when the stream name is taken or the schema invalid.
+    pub fn register_stream(&self, name: &str, schema: Schema) -> Result<(), ExacmlError> {
+        self.engine.lock().register_stream(name, schema).map_err(ExacmlError::from)
+    }
+
+    /// Push one source tuple into a registered stream (the data owner's feed).
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or the tuple malformed.
+    pub fn push(&self, stream: &str, tuple: Tuple) -> Result<usize, ExacmlError> {
+        self.engine.lock().push(stream, tuple).map_err(ExacmlError::from)
+    }
+
+    /// Subscribe to the derived tuples behind a granted handle.
+    ///
+    /// # Errors
+    /// Fails when the handle is unknown or already withdrawn.
+    pub fn subscribe(
+        &self,
+        handle: &StreamHandle,
+    ) -> Result<crossbeam::channel::Receiver<Tuple>, ExacmlError> {
+        self.engine.lock().subscribe(handle).map_err(ExacmlError::from)
+    }
+
+    /// Whether a handle still points at a live deployment.
+    #[must_use]
+    pub fn handle_is_live(&self, handle: &StreamHandle) -> bool {
+        self.engine.lock().catalog().handle_is_live(handle)
+    }
+
+    // --- policy management (Section 3.3) ------------------------------------
+
+    /// Load a policy onto the server. Returns the time taken (the
+    /// policy-loading measurement reported in Section 4.2).
+    ///
+    /// # Errors
+    /// Fails when the policy is invalid or its id already loaded.
+    pub fn load_policy(&self, policy: Policy) -> Result<Duration, ExacmlError> {
+        let started = Instant::now();
+        // Charge the owner → server upload of the policy document.
+        let document = exacml_xacml::xml::write_policy(&policy);
+        let network = {
+            let mut rng = self.rng.lock();
+            self.config.topology.round_trip(
+                NodeId::Client,
+                NodeId::DataServer,
+                document.len(),
+                64,
+                &mut *rng,
+            )
+        };
+        let policy_id = policy.id.clone();
+        self.store.add(policy)?;
+        let elapsed = started.elapsed() + network;
+        self.policy_load_times.lock().push(elapsed);
+        self.audit.lock().record(
+            AuditEventKind::PolicyLoaded,
+            None,
+            None,
+            Some(&policy_id),
+            format!("loaded in {elapsed:?}"),
+        );
+        Ok(elapsed)
+    }
+
+    /// Load a policy from its XML document.
+    ///
+    /// # Errors
+    /// Fails when the document does not parse or the policy is invalid.
+    pub fn load_policy_xml(&self, xml: &str) -> Result<Duration, ExacmlError> {
+        let policy = exacml_xacml::xml::parse_policy(xml)?;
+        self.load_policy(policy)
+    }
+
+    /// Remove a policy; every query graph it spawned is withdrawn from the
+    /// DSMS immediately. Returns the number of withdrawn deployments.
+    ///
+    /// # Errors
+    /// Fails when the policy is unknown.
+    pub fn remove_policy(&self, policy_id: &str) -> Result<usize, ExacmlError> {
+        self.store.remove(policy_id)?;
+        let withdrawn = self.withdraw_policy_graphs(policy_id);
+        self.audit.lock().record(
+            AuditEventKind::PolicyRemoved,
+            None,
+            None,
+            Some(policy_id),
+            format!("{withdrawn} query graph(s) withdrawn"),
+        );
+        Ok(withdrawn)
+    }
+
+    /// Replace a policy; as with removal, existing query graphs spawned by
+    /// the old version are withdrawn (consumers must re-request access).
+    /// Returns the number of withdrawn deployments.
+    ///
+    /// # Errors
+    /// Fails when the policy is unknown or the new version invalid.
+    pub fn update_policy(&self, policy: Policy) -> Result<usize, ExacmlError> {
+        let policy_id = policy.id.clone();
+        self.store.update(policy)?;
+        let withdrawn = self.withdraw_policy_graphs(&policy_id);
+        self.audit.lock().record(
+            AuditEventKind::PolicyUpdated,
+            None,
+            None,
+            Some(&policy_id),
+            format!("{withdrawn} query graph(s) withdrawn"),
+        );
+        Ok(withdrawn)
+    }
+
+    fn withdraw_policy_graphs(&self, policy_id: &str) -> usize {
+        let evicted = self.graphs.lock().evict_policy(policy_id);
+        let ids: Vec<DeploymentId> = evicted.iter().map(|t| t.deployment).collect();
+        {
+            let mut engine = self.engine.lock();
+            for id in &ids {
+                // Races with explicit releases are benign: the graph may
+                // already be gone.
+                let _ = engine.withdraw(*id);
+            }
+        }
+        self.guard.lock().release_deployments(&ids);
+        ids.len()
+    }
+
+    /// Number of loaded policies.
+    #[must_use]
+    pub fn policy_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Mean and standard deviation of policy load times, in seconds.
+    #[must_use]
+    pub fn policy_load_stats(&self) -> (f64, f64) {
+        let times = self.policy_load_times.lock();
+        if times.is_empty() {
+            return (0.0, 0.0);
+        }
+        let secs: Vec<f64> = times.iter().map(Duration::as_secs_f64).collect();
+        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+        let var = secs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / secs.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    // --- the Section 3.2 workflow -------------------------------------------
+
+    /// Handle one access request, optionally refined by a customised query.
+    /// This is the server-side cost only; the proxy and client wrappers add
+    /// their own network hops on top.
+    ///
+    /// # Errors
+    /// * [`ExacmlError::AccessDenied`] when the PDP does not permit,
+    /// * [`ExacmlError::MultipleAccess`] when a different live query exists,
+    /// * [`ExacmlError::ConflictDetected`] on blocking NR/PR warnings,
+    /// * plus translation/merging/DSMS errors.
+    pub fn handle_request(
+        &self,
+        request: &Request,
+        user_query: Option<&UserQuery>,
+    ) -> Result<AccessResponse, ExacmlError> {
+        let result = self.handle_request_unaudited(request, user_query);
+        let subject = request.subject_id();
+        let stream = request.resource_id();
+        let mut audit = self.audit.lock();
+        match &result {
+            Ok(response) => {
+                let kind = if response.reused { AuditEventKind::Reused } else { AuditEventKind::Granted };
+                audit.record(kind, subject, stream, Some(&response.policy_id),
+                    format!("handle {}", response.handle));
+            }
+            Err(ExacmlError::ConflictDetected { warnings }) => {
+                audit.record(AuditEventKind::Conflict, subject, stream, None,
+                    format!("{} warning(s)", warnings.len()));
+            }
+            Err(ExacmlError::MultipleAccess { .. }) => {
+                audit.record(AuditEventKind::MultipleAccessBlocked, subject, stream, None,
+                    "different live query already held".to_string());
+            }
+            Err(ExacmlError::AccessDenied { decision, .. }) => {
+                audit.record(AuditEventKind::Denied, subject, stream, None, decision.clone());
+            }
+            Err(other) => {
+                audit.record(AuditEventKind::Denied, subject, stream, None, other.to_string());
+            }
+        }
+        result
+    }
+
+    fn handle_request_unaudited(
+        &self,
+        request: &Request,
+        user_query: Option<&UserQuery>,
+    ) -> Result<AccessResponse, ExacmlError> {
+        let started = Instant::now();
+        let mut network = Duration::ZERO;
+
+        let subject = request
+            .subject_id()
+            .ok_or_else(|| ExacmlError::IncompleteRequest("missing subject-id".into()))?
+            .to_string();
+        let stream = request
+            .resource_id()
+            .ok_or_else(|| ExacmlError::IncompleteRequest("missing resource-id".into()))?
+            .to_string();
+
+        // Step 2: PDP decision.
+        let pdp_started = Instant::now();
+        let decision = self.pdp.evaluate(request);
+        let pdp_time = pdp_started.elapsed();
+        if decision.decision != Decision::Permit {
+            return Err(ExacmlError::AccessDenied {
+                decision: decision.decision.to_string(),
+                detail: format!("no policy permits subject '{subject}' on stream '{stream}'"),
+            });
+        }
+        let policy_id =
+            decision.policy_id.clone().unwrap_or_else(|| "<unknown-policy>".to_string());
+
+        // Step 3: single-access check.
+        let fingerprint = user_query.map_or_else(
+            || format!("stream={};<identity>", stream.to_ascii_lowercase()),
+            UserQuery::fingerprint,
+        );
+        match self.guard.lock().check(&subject, &stream, &fingerprint)? {
+            GuardOutcome::Allowed => {}
+            GuardOutcome::Reuse { handle, deployment } => {
+                // Identical re-request: hand back the existing live handle.
+                let output_schema = self.engine.lock().output_schema(&handle)?;
+                let total = started.elapsed();
+                return Ok(AccessResponse {
+                    handle,
+                    output_schema,
+                    deployment,
+                    policy_id,
+                    warnings: Vec::new(),
+                    streamsql: String::new(),
+                    reused: true,
+                    timing: RequestTiming {
+                        pdp: pdp_time,
+                        query_graph: Duration::ZERO,
+                        dsms: Duration::ZERO,
+                        network,
+                        total,
+                    },
+                });
+            }
+        }
+
+        // Steps 2 (obligations → graph) and 4 (merge + NR/PR).
+        let graph_started = Instant::now();
+        let policy_graph = graph_from_obligations(&stream, &decision.obligations)?;
+        let user_graph: QueryGraph = match user_query {
+            Some(q) => {
+                if !q.stream.eq_ignore_ascii_case(&stream) {
+                    return Err(ExacmlError::StreamMismatch {
+                        requested: stream,
+                        query: q.stream.clone(),
+                    });
+                }
+                q.to_graph()?
+            }
+            None => QueryGraph::identity(&stream),
+        };
+        let outcome = merge_graphs(&policy_graph, &user_graph, self.config.merge)?;
+        if has_empty_result(&outcome.warnings)
+            || (has_partial_result(&outcome.warnings) && !self.config.deploy_on_partial_result)
+        {
+            return Err(ExacmlError::ConflictDetected { warnings: outcome.warnings });
+        }
+        let input_schema = self.engine.lock().stream_schema(&stream)?;
+        let script = streamsql::generate(&outcome.graph, &input_schema);
+        let query_graph_time = graph_started.elapsed();
+
+        // Step 5: ship the StreamSQL to the DSMS and deploy.
+        network += {
+            let mut rng = self.rng.lock();
+            self.config.topology.round_trip(
+                NodeId::DataServer,
+                NodeId::Dsms,
+                script.len(),
+                96,
+                &mut *rng,
+            )
+        };
+        let dsms_started = Instant::now();
+        let deployment = self.engine.lock().deploy(&outcome.graph)?;
+        let dsms_time = dsms_started.elapsed();
+
+        self.graphs.lock().track(TrackedGraph {
+            deployment: deployment.id,
+            handle: deployment.output_handle.clone(),
+            policy_id: policy_id.clone(),
+            subject: subject.clone(),
+            stream: stream.clone(),
+            graph: outcome.graph.clone(),
+        });
+        self.guard.lock().register(
+            &subject,
+            &stream,
+            fingerprint,
+            deployment.output_handle.clone(),
+            deployment.id,
+        );
+
+        let total = started.elapsed() + network;
+        Ok(AccessResponse {
+            handle: deployment.output_handle,
+            output_schema: deployment.output_schema,
+            deployment: deployment.id,
+            policy_id,
+            warnings: outcome.warnings,
+            streamsql: script,
+            reused: false,
+            timing: RequestTiming {
+                pdp: pdp_time,
+                query_graph: query_graph_time,
+                dsms: dsms_time,
+                network,
+                total,
+            },
+        })
+    }
+
+    /// Release the access a subject holds on a stream, withdrawing the
+    /// backing deployment. Returns `true` when something was released.
+    pub fn release_access(&self, subject: &str, stream: &str) -> bool {
+        let Some(deployment) = self.guard.lock().release(subject, stream) else {
+            return false;
+        };
+        self.graphs.lock().untrack(deployment);
+        let _ = self.engine.lock().withdraw(deployment);
+        self.audit.lock().record(
+            AuditEventKind::AccessReleased,
+            Some(subject),
+            Some(stream),
+            None,
+            format!("{deployment} withdrawn"),
+        );
+        true
+    }
+
+    /// Deploy a raw StreamSQL script directly on the DSMS, bypassing access
+    /// control — the *direct-query* baseline of the evaluation (Section 4.2).
+    /// Returns the handle and the timing (DSMS + network only).
+    ///
+    /// # Errors
+    /// Fails when the script does not parse or references an unknown stream
+    /// (the input stream must already be registered; its `CREATE INPUT
+    /// STREAM` declaration is used only for validation).
+    pub fn direct_deploy(&self, script: &str) -> Result<(StreamHandle, RequestTiming), ExacmlError> {
+        let started = Instant::now();
+        let parsed = streamsql::parse(script)?;
+        let network = {
+            let mut rng = self.rng.lock();
+            self.config.topology.round_trip(NodeId::Client, NodeId::Dsms, script.len(), 96, &mut *rng)
+        };
+        let dsms_started = Instant::now();
+        let deployment = {
+            let mut engine = self.engine.lock();
+            if !engine.catalog().contains(&parsed.stream) {
+                engine.register_stream(&parsed.stream, parsed.schema.clone())?;
+            }
+            engine.deploy(&parsed.graph)?
+        };
+        let dsms_time = dsms_started.elapsed();
+        let total = started.elapsed() + network;
+        Ok((
+            deployment.output_handle,
+            RequestTiming {
+                pdp: Duration::ZERO,
+                query_graph: Duration::ZERO,
+                dsms: dsms_time,
+                network,
+                total,
+            },
+        ))
+    }
+
+    /// Number of live deployments on the DSMS.
+    #[must_use]
+    pub fn live_deployments(&self) -> usize {
+        self.engine.lock().deployment_count()
+    }
+
+    /// Engine-level counters.
+    #[must_use]
+    pub fn engine_stats(&self) -> exacml_dsms::EngineStats {
+        self.engine.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obligations::StreamPolicyBuilder;
+    use exacml_dsms::{AggFunc, AggSpec, Value, WindowSpec};
+
+    fn example1_policy() -> Policy {
+        StreamPolicyBuilder::new("nea-weather-for-lta", "weather")
+            .subject("LTA")
+            .filter("rainrate > 5")
+            .visible_attributes(["samplingtime", "rainrate", "windspeed"])
+            .window(
+                WindowSpec::tuples(5, 2),
+                vec![
+                    AggSpec::new("samplingtime", AggFunc::LastValue),
+                    AggSpec::new("rainrate", AggFunc::Avg),
+                    AggSpec::new("windspeed", AggFunc::Max),
+                ],
+            )
+            .build()
+    }
+
+    fn server_with_weather() -> DataServer {
+        let server = DataServer::new(ServerConfig::local());
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.load_policy(example1_policy()).unwrap();
+        server
+    }
+
+    fn lta_query() -> UserQuery {
+        UserQuery::for_stream("weather")
+            .with_filter("rainrate > 50")
+            .with_map(["samplingtime", "rainrate"])
+            .with_aggregation(
+                WindowSpec::tuples(10, 2),
+                vec![
+                    AggSpec::new("samplingtime", AggFunc::LastValue),
+                    AggSpec::new("rainrate", AggFunc::Avg),
+                ],
+            )
+    }
+
+    #[test]
+    fn grants_the_running_example_and_streams_data() {
+        // Deploy with partial results allowed (the LTA refinement hides
+        // attributes, which raises a PR warning by design).
+        let server = DataServer::new(ServerConfig {
+            deploy_on_partial_result: true,
+            ..ServerConfig::local()
+        });
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.load_policy(example1_policy()).unwrap();
+
+        let request = Request::subscribe("LTA", "weather");
+        let response = server.handle_request(&request, Some(&lta_query())).unwrap();
+        assert!(!response.reused);
+        assert_eq!(response.policy_id, "nea-weather-for-lta");
+        assert!(response.streamsql.contains("SIZE 10 ADVANCE 2 TUPLES"));
+        assert_eq!(
+            response.output_schema.field_names(),
+            vec!["lastvalsamplingtime", "avgrainrate"]
+        );
+        assert!(response.timing.total >= response.timing.dsms);
+
+        // Stream 30 heavy-rain tuples and observe aggregated output.
+        let rx = server.subscribe(&response.handle).unwrap();
+        let schema = Schema::weather_example();
+        for i in 0..30 {
+            let tuple = Tuple::builder(&schema)
+                .set("samplingtime", Value::Timestamp(i64::from(i) * 30_000))
+                .set("rainrate", 60.0 + f64::from(i))
+                .set("windspeed", 10.0)
+                .finish_with_defaults();
+            server.push("weather", tuple).unwrap();
+        }
+        let outputs: Vec<Tuple> = rx.try_iter().collect();
+        assert!(!outputs.is_empty());
+        assert!(outputs[0].get_f64("avgrainrate").unwrap() > 60.0);
+    }
+
+    #[test]
+    fn denies_unknown_subjects_and_streams() {
+        let server = server_with_weather();
+        let err = server.handle_request(&Request::subscribe("EMA", "weather"), None).unwrap_err();
+        assert!(matches!(err, ExacmlError::AccessDenied { .. }));
+        let err = server.handle_request(&Request::subscribe("LTA", "gps"), None).unwrap_err();
+        assert!(matches!(err, ExacmlError::AccessDenied { .. }));
+        let err = server.handle_request(&Request::new(), None).unwrap_err();
+        assert!(matches!(err, ExacmlError::IncompleteRequest(_)));
+    }
+
+    #[test]
+    fn plain_request_without_user_query_deploys_policy_graph() {
+        let server = server_with_weather();
+        let response = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(response.warnings.is_empty());
+        assert!(response.streamsql.contains("WHERE rainrate > 5"));
+        assert!(response.streamsql.contains("SIZE 5 ADVANCE 2 TUPLES"));
+        assert_eq!(server.live_deployments(), 1);
+    }
+
+    #[test]
+    fn identical_rerequest_reuses_the_existing_handle() {
+        let server = server_with_weather();
+        let request = Request::subscribe("LTA", "weather");
+        let first = server.handle_request(&request, None).unwrap();
+        let second = server.handle_request(&request, None).unwrap();
+        assert!(second.reused);
+        assert_eq!(first.handle, second.handle);
+        assert_eq!(server.live_deployments(), 1);
+    }
+
+    #[test]
+    fn different_query_on_same_stream_is_blocked() {
+        let server = DataServer::new(ServerConfig {
+            deploy_on_partial_result: true,
+            ..ServerConfig::local()
+        });
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.load_policy(example1_policy()).unwrap();
+        let request = Request::subscribe("LTA", "weather");
+        server.handle_request(&request, None).unwrap();
+        // The Example 2 attack: a second, different window on the same stream.
+        let err = server.handle_request(&request, Some(&lta_query())).unwrap_err();
+        assert!(matches!(err, ExacmlError::MultipleAccess { .. }));
+        // Releasing the first access unblocks the second query.
+        assert!(server.release_access("LTA", "weather"));
+        assert!(server.handle_request(&request, Some(&lta_query())).is_ok());
+    }
+
+    #[test]
+    fn conflicting_query_yields_nr_and_no_deployment() {
+        let server = server_with_weather();
+        let query = UserQuery::for_stream("weather")
+            .with_filter("rainrate < 2") // contradicts the policy's rainrate > 5
+            .with_map(["samplingtime", "rainrate", "windspeed"])
+            .with_aggregation(
+                WindowSpec::tuples(5, 2),
+                vec![
+                    AggSpec::new("samplingtime", AggFunc::LastValue),
+                    AggSpec::new("rainrate", AggFunc::Avg),
+                    AggSpec::new("windspeed", AggFunc::Max),
+                ],
+            );
+        let err = server
+            .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
+            .unwrap_err();
+        match err {
+            ExacmlError::ConflictDetected { warnings } => {
+                assert!(has_empty_result(&warnings));
+            }
+            other => panic!("expected ConflictDetected, got {other}"),
+        }
+        assert_eq!(server.live_deployments(), 0);
+    }
+
+    #[test]
+    fn finer_window_than_policy_is_rejected() {
+        let server = server_with_weather();
+        let query = UserQuery::for_stream("weather").with_aggregation(
+            WindowSpec::tuples(3, 2),
+            vec![AggSpec::new("rainrate", AggFunc::Avg)],
+        );
+        let err = server
+            .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
+            .unwrap_err();
+        assert!(matches!(err, ExacmlError::WindowTooFine { .. }));
+    }
+
+    #[test]
+    fn removing_a_policy_withdraws_its_graphs() {
+        let server = server_with_weather();
+        let request = Request::subscribe("LTA", "weather");
+        let response = server.handle_request(&request, None).unwrap();
+        assert!(server.handle_is_live(&response.handle));
+
+        let withdrawn = server.remove_policy("nea-weather-for-lta").unwrap();
+        assert_eq!(withdrawn, 1);
+        assert!(!server.handle_is_live(&response.handle));
+        assert_eq!(server.live_deployments(), 0);
+        // The next request is denied: the policy is gone.
+        assert!(matches!(
+            server.handle_request(&request, None),
+            Err(ExacmlError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn updating_a_policy_also_withdraws_existing_graphs() {
+        let server = server_with_weather();
+        let request = Request::subscribe("LTA", "weather");
+        let response = server.handle_request(&request, None).unwrap();
+        let updated = StreamPolicyBuilder::new("nea-weather-for-lta", "weather")
+            .subject("LTA")
+            .filter("rainrate > 100")
+            .build();
+        let withdrawn = server.update_policy(updated).unwrap();
+        assert_eq!(withdrawn, 1);
+        assert!(!server.handle_is_live(&response.handle));
+        // A fresh request succeeds under the new policy.
+        let fresh = server.handle_request(&request, None).unwrap();
+        assert!(fresh.streamsql.contains("rainrate > 100"));
+    }
+
+    #[test]
+    fn policy_loading_is_tracked() {
+        let server = DataServer::new(ServerConfig::local());
+        for i in 0..20 {
+            let policy = StreamPolicyBuilder::new(format!("p{i}"), "weather")
+                .subject(format!("user{i}"))
+                .filter("rainrate > 1")
+                .build();
+            let elapsed = server.load_policy(policy).unwrap();
+            assert!(elapsed > Duration::ZERO);
+        }
+        assert_eq!(server.policy_count(), 20);
+        let (mean, stddev) = server.policy_load_stats();
+        assert!(mean > 0.0);
+        assert!(stddev >= 0.0);
+    }
+
+    #[test]
+    fn direct_deploy_baseline_bypasses_access_control() {
+        let server = DataServer::new(ServerConfig::local());
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        let graph = exacml_dsms::QueryGraphBuilder::on_stream("weather")
+            .filter_str("rainrate > 5")
+            .unwrap()
+            .build();
+        let script = streamsql::generate(&graph, &Schema::weather_example());
+        let (handle, timing) = server.direct_deploy(&script).unwrap();
+        assert!(server.handle_is_live(&handle));
+        assert_eq!(timing.pdp, Duration::ZERO);
+        assert!(timing.total >= timing.dsms);
+        // A malformed script is rejected.
+        assert!(server.direct_deploy("garbage").is_err());
+    }
+
+    #[test]
+    fn mismatched_user_query_stream_is_rejected() {
+        let server = server_with_weather();
+        let query = UserQuery::for_stream("gps").with_filter("speed > 10");
+        let err = server
+            .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
+            .unwrap_err();
+        assert!(matches!(err, ExacmlError::StreamMismatch { .. }));
+    }
+}

@@ -1,0 +1,488 @@
+//! The continuous-query engine.
+//!
+//! This is the part of StreamBase the eXACML+ framework talks to: it
+//! registers input streams, accepts query-graph deployments (returning a
+//! [`StreamHandle`] for the derived output stream), pushes source tuples
+//! through every deployed graph and delivers derived tuples to subscribers,
+//! and withdraws deployments when the policy layer revokes them
+//! (Section 3.3 — "whenever a policy has been removed or modified, all query
+//! graphs that are spawned by the policy are immediately withdrawn").
+
+use crate::catalog::{StreamCatalog, StreamHandle};
+use crate::error::DsmsError;
+use crate::graph::QueryGraph;
+use crate::ops::Operator;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::window::SlidingBuffer;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of one deployed query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeploymentId(pub u64);
+
+impl std::fmt::Display for DeploymentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deployment-{}", self.0)
+    }
+}
+
+/// Public description of a successful deployment.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Engine-assigned identifier.
+    pub id: DeploymentId,
+    /// Handle (URI) of the derived output stream.
+    pub output_handle: StreamHandle,
+    /// Schema of the derived output stream.
+    pub output_schema: Arc<Schema>,
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Source tuples pushed into the engine.
+    pub tuples_ingested: u64,
+    /// Derived tuples emitted to output streams.
+    pub tuples_emitted: u64,
+    /// Query graphs deployed over the engine's lifetime.
+    pub deployments_created: u64,
+    /// Query graphs withdrawn over the engine's lifetime.
+    pub deployments_withdrawn: u64,
+}
+
+/// Per-stage runtime state of a deployment.
+struct Stage {
+    operator: Operator,
+    output_schema: Arc<Schema>,
+    window: Option<SlidingBuffer>,
+}
+
+/// Runtime state of one deployed query graph.
+struct DeploymentState {
+    graph: QueryGraph,
+    stages: Vec<Stage>,
+    output_handle: StreamHandle,
+    output_schema: Arc<Schema>,
+    subscribers: Vec<Sender<Tuple>>,
+    emitted: u64,
+}
+
+impl DeploymentState {
+    /// Push one source tuple through the operator chain; returns the derived
+    /// tuples emitted by the final stage.
+    fn process(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let mut current = vec![tuple];
+        for stage in &mut self.stages {
+            if current.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(current.len());
+            for t in current {
+                match &stage.operator {
+                    Operator::Filter(op) => {
+                        if let Some(t) = op.apply(t) {
+                            next.push(t);
+                        }
+                    }
+                    Operator::Map(op) => next.push(op.apply(&t, &stage.output_schema)),
+                    Operator::Aggregate(op) => {
+                        let buffer = stage
+                            .window
+                            .as_mut()
+                            .expect("aggregate stages always carry a window buffer");
+                        next.extend(op.apply(buffer, t, &stage.output_schema));
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+}
+
+/// The Aurora-model continuous query engine.
+pub struct StreamEngine {
+    catalog: StreamCatalog,
+    deployments: HashMap<DeploymentId, DeploymentState>,
+    by_stream: HashMap<String, Vec<DeploymentId>>,
+    by_handle: HashMap<StreamHandle, DeploymentId>,
+    next_id: u64,
+    stats: EngineStats,
+}
+
+impl Default for StreamEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamEngine {
+    /// A new engine whose handles are minted under the host name `dsms`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_host("dsms")
+    }
+
+    /// A new engine with an explicit host name (used in handle URIs).
+    #[must_use]
+    pub fn with_host(host: &str) -> Self {
+        StreamEngine {
+            catalog: StreamCatalog::new(host),
+            deployments: HashMap::new(),
+            by_stream: HashMap::new(),
+            by_handle: HashMap::new(),
+            next_id: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The engine's catalog (stream registry and handle registry).
+    #[must_use]
+    pub fn catalog(&self) -> &StreamCatalog {
+        &self.catalog
+    }
+
+    /// Engine-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Register an input stream.
+    ///
+    /// # Errors
+    /// Fails when the name is taken or the schema invalid.
+    pub fn register_stream(&mut self, name: &str, schema: Schema) -> Result<(), DsmsError> {
+        self.catalog.register(name, schema)?;
+        self.by_stream.entry(name.to_string()).or_default();
+        Ok(())
+    }
+
+    /// Schema of a registered input stream.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown.
+    pub fn stream_schema(&self, name: &str) -> Result<Arc<Schema>, DsmsError> {
+        self.catalog.schema_of(name)
+    }
+
+    /// Deploy a query graph. Validates the graph against the input stream's
+    /// schema, allocates the runtime state (window buffers) and mints an
+    /// output-stream handle.
+    ///
+    /// # Errors
+    /// Fails when the input stream is unknown or the graph invalid.
+    pub fn deploy(&mut self, graph: &QueryGraph) -> Result<Deployment, DsmsError> {
+        let input_schema = self.catalog.schema_of(&graph.stream)?;
+
+        // Validate the chain and record every intermediate schema.
+        let mut stages = Vec::with_capacity(graph.nodes.len());
+        let mut current: Schema = (*input_schema).clone();
+        for node in &graph.nodes {
+            let out = node.operator.output_schema(&current)?;
+            let window = match &node.operator {
+                Operator::Aggregate(op) => Some(SlidingBuffer::new(op.window)),
+                _ => None,
+            };
+            stages.push(Stage { operator: node.operator.clone(), output_schema: out.clone().shared(), window });
+            current = out;
+        }
+        let output_schema = current.shared();
+
+        let id = DeploymentId(self.next_id);
+        self.next_id += 1;
+        let output_handle = self.catalog.mint_handle(format!("{id}"));
+
+        let state = DeploymentState {
+            graph: graph.clone(),
+            stages,
+            output_handle: output_handle.clone(),
+            output_schema: Arc::clone(&output_schema),
+            subscribers: Vec::new(),
+            emitted: 0,
+        };
+        self.by_stream.entry(graph.stream.clone()).or_default().push(id);
+        self.by_handle.insert(output_handle.clone(), id);
+        self.deployments.insert(id, state);
+        self.stats.deployments_created += 1;
+
+        Ok(Deployment { id, output_handle, output_schema })
+    }
+
+    /// Withdraw a deployment by id, releasing its output handle. Subscribers
+    /// see their channel disconnect.
+    ///
+    /// # Errors
+    /// Fails when the deployment is unknown.
+    pub fn withdraw(&mut self, id: DeploymentId) -> Result<(), DsmsError> {
+        let state = self
+            .deployments
+            .remove(&id)
+            .ok_or_else(|| DsmsError::UnknownHandle(format!("{id}")))?;
+        self.catalog.release_handle(&state.output_handle);
+        self.by_handle.remove(&state.output_handle);
+        if let Some(list) = self.by_stream.get_mut(&state.graph.stream) {
+            list.retain(|d| *d != id);
+        }
+        self.stats.deployments_withdrawn += 1;
+        Ok(())
+    }
+
+    /// Withdraw the deployment behind an output-stream handle.
+    ///
+    /// # Errors
+    /// Fails when the handle is unknown.
+    pub fn withdraw_handle(&mut self, handle: &StreamHandle) -> Result<(), DsmsError> {
+        let id = self
+            .by_handle
+            .get(handle)
+            .copied()
+            .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
+        self.withdraw(id)
+    }
+
+    /// Subscribe to the derived tuples of an output stream.
+    ///
+    /// # Errors
+    /// Fails when the handle does not correspond to a live deployment.
+    pub fn subscribe(&mut self, handle: &StreamHandle) -> Result<Receiver<Tuple>, DsmsError> {
+        let id = self
+            .by_handle
+            .get(handle)
+            .copied()
+            .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
+        let (tx, rx) = unbounded();
+        self.deployments
+            .get_mut(&id)
+            .expect("by_handle and deployments are kept consistent")
+            .subscribers
+            .push(tx);
+        Ok(rx)
+    }
+
+    /// Schema of the output stream behind a handle.
+    ///
+    /// # Errors
+    /// Fails when the handle is unknown.
+    pub fn output_schema(&self, handle: &StreamHandle) -> Result<Arc<Schema>, DsmsError> {
+        let id = self
+            .by_handle
+            .get(handle)
+            .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
+        Ok(Arc::clone(&self.deployments[id].output_schema))
+    }
+
+    /// Push one source tuple into a registered stream. The tuple is run
+    /// through every deployment on that stream; derived tuples are delivered
+    /// to subscribers. Returns the total number of derived tuples emitted.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or the tuple does not match its
+    /// schema.
+    pub fn push(&mut self, stream: &str, tuple: Tuple) -> Result<usize, DsmsError> {
+        let schema = self.catalog.schema_of(stream)?;
+        if tuple.schema().as_ref() != schema.as_ref() {
+            return Err(DsmsError::SchemaMismatch {
+                stream: stream.to_string(),
+                detail: format!("tuple schema {} differs from stream schema {}", tuple.schema(), schema),
+            });
+        }
+        self.stats.tuples_ingested += 1;
+
+        let ids = self.by_stream.get(stream).cloned().unwrap_or_default();
+        let mut emitted = 0usize;
+        for id in ids {
+            let Some(state) = self.deployments.get_mut(&id) else { continue };
+            let outputs = state.process(tuple.clone());
+            state.emitted += outputs.len() as u64;
+            emitted += outputs.len();
+            for out in outputs {
+                state.subscribers.retain(|tx| tx.send(out.clone()).is_ok());
+            }
+        }
+        self.stats.tuples_emitted += emitted as u64;
+        Ok(emitted)
+    }
+
+    /// Number of live deployments.
+    #[must_use]
+    pub fn deployment_count(&self) -> usize {
+        self.deployments.len()
+    }
+
+    /// Number of live deployments attached to one input stream.
+    #[must_use]
+    pub fn deployments_on(&self, stream: &str) -> usize {
+        self.by_stream.get(stream).map_or(0, Vec::len)
+    }
+
+    /// Total derived tuples emitted by one deployment so far.
+    #[must_use]
+    pub fn emitted_by(&self, id: DeploymentId) -> Option<u64> {
+        self.deployments.get(&id).map(|s| s.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::QueryGraphBuilder;
+    use crate::ops::aggregate::{AggFunc, AggSpec};
+    use crate::value::Value;
+    use crate::window::WindowSpec;
+
+    fn weather_tuple(schema: &Schema, i: i64, rain: f64, wind: f64) -> Tuple {
+        Tuple::builder(schema)
+            .set("samplingtime", Value::Timestamp(i * 30_000))
+            .set("rainrate", rain)
+            .set("windspeed", wind)
+            .finish_with_defaults()
+    }
+
+    fn engine_with_weather() -> (StreamEngine, Schema) {
+        let mut engine = StreamEngine::new();
+        let schema = Schema::weather_example();
+        engine.register_stream("weather", schema.clone()).unwrap();
+        (engine, schema)
+    }
+
+    #[test]
+    fn deploy_subscribe_push_full_example1_pipeline() {
+        let (mut engine, schema) = engine_with_weather();
+        let graph = QueryGraphBuilder::on_stream("weather")
+            .filter_str("rainrate > 5")
+            .unwrap()
+            .map(["samplingtime", "rainrate", "windspeed"])
+            .aggregate(
+                WindowSpec::tuples(5, 2),
+                vec![
+                    AggSpec::new("samplingtime", AggFunc::LastValue),
+                    AggSpec::new("rainrate", AggFunc::Avg),
+                    AggSpec::new("windspeed", AggFunc::Max),
+                ],
+            )
+            .build();
+        let deployment = engine.deploy(&graph).unwrap();
+        assert_eq!(
+            deployment.output_schema.field_names(),
+            vec!["lastvalsamplingtime", "avgrainrate", "maxwindspeed"]
+        );
+        let rx = engine.subscribe(&deployment.output_handle).unwrap();
+
+        // 10 tuples, rain alternates below/above the threshold; only the 6
+        // above-threshold tuples reach the window.
+        for i in 0..10 {
+            let rain = if i % 2 == 0 { 10.0 + f64::from(i) } else { 1.0 };
+            engine.push("weather", weather_tuple(&schema, i64::from(i), rain, f64::from(i))).unwrap();
+        }
+        // 5 tuples pass the filter at i=0,2,4,6,8 → one window closes.
+        let out: Vec<Tuple> = rx.try_iter().collect();
+        assert_eq!(out.len(), 1);
+        let avg = out[0].get_f64("avgrainrate").unwrap();
+        assert!((avg - (10.0 + 12.0 + 14.0 + 16.0 + 18.0) / 5.0).abs() < 1e-9);
+        assert_eq!(out[0].get_f64("maxwindspeed"), Some(8.0));
+    }
+
+    #[test]
+    fn identity_deployment_passes_tuples_through() {
+        let (mut engine, schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        let rx = engine.subscribe(&d.output_handle).unwrap();
+        engine.push("weather", weather_tuple(&schema, 0, 3.0, 1.0)).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn multiple_deployments_on_one_stream() {
+        let (mut engine, schema) = engine_with_weather();
+        let g1 = QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 5").unwrap().build();
+        let g2 = QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 100").unwrap().build();
+        let d1 = engine.deploy(&g1).unwrap();
+        let d2 = engine.deploy(&g2).unwrap();
+        let rx1 = engine.subscribe(&d1.output_handle).unwrap();
+        let rx2 = engine.subscribe(&d2.output_handle).unwrap();
+        assert_eq!(engine.deployments_on("weather"), 2);
+
+        let emitted = engine.push("weather", weather_tuple(&schema, 0, 10.0, 0.0)).unwrap();
+        assert_eq!(emitted, 1);
+        assert_eq!(rx1.try_iter().count(), 1);
+        assert_eq!(rx2.try_iter().count(), 0);
+    }
+
+    #[test]
+    fn withdraw_disconnects_subscribers_and_releases_handle() {
+        let (mut engine, schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        let rx = engine.subscribe(&d.output_handle).unwrap();
+        assert!(engine.catalog().handle_is_live(&d.output_handle));
+
+        engine.withdraw(d.id).unwrap();
+        assert!(!engine.catalog().handle_is_live(&d.output_handle));
+        assert_eq!(engine.deployment_count(), 0);
+        // Pushing more data does not reach the old subscriber.
+        engine.push("weather", weather_tuple(&schema, 0, 1.0, 1.0)).unwrap();
+        assert!(rx.try_recv().is_err());
+        // Subscribing to the withdrawn handle now fails.
+        assert!(matches!(engine.subscribe(&d.output_handle), Err(DsmsError::UnknownHandle(_))));
+        // Double-withdraw fails.
+        assert!(engine.withdraw(d.id).is_err());
+    }
+
+    #[test]
+    fn withdraw_by_handle() {
+        let (mut engine, _schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        engine.withdraw_handle(&d.output_handle).unwrap();
+        assert_eq!(engine.deployment_count(), 0);
+        assert!(engine.withdraw_handle(&d.output_handle).is_err());
+    }
+
+    #[test]
+    fn push_checks_stream_and_schema() {
+        let (mut engine, _schema) = engine_with_weather();
+        let other = Schema::gps_example();
+        let t = Tuple::builder(&other).finish_with_defaults();
+        assert!(matches!(engine.push("nosuch", t.clone()), Err(DsmsError::UnknownStream(_))));
+        assert!(matches!(engine.push("weather", t), Err(DsmsError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn deploy_rejects_unknown_stream_and_bad_graph() {
+        let (mut engine, _schema) = engine_with_weather();
+        let g = QueryGraphBuilder::on_stream("nosuch").build();
+        assert!(matches!(engine.deploy(&g), Err(DsmsError::UnknownStream(_))));
+        let g = QueryGraphBuilder::on_stream("weather").map(["bogus"]).build();
+        assert!(matches!(engine.deploy(&g), Err(DsmsError::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn stats_are_accumulated() {
+        let (mut engine, schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        engine.push("weather", weather_tuple(&schema, 0, 1.0, 1.0)).unwrap();
+        engine.push("weather", weather_tuple(&schema, 1, 2.0, 1.0)).unwrap();
+        engine.withdraw(d.id).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.tuples_ingested, 2);
+        assert_eq!(stats.tuples_emitted, 2);
+        assert_eq!(stats.deployments_created, 1);
+        assert_eq!(stats.deployments_withdrawn, 1);
+        assert_eq!(engine.emitted_by(d.id), None);
+    }
+
+    #[test]
+    fn output_schema_lookup_by_handle() {
+        let (mut engine, _schema) = engine_with_weather();
+        let g = QueryGraphBuilder::on_stream("weather").map(["rainrate"]).build();
+        let d = engine.deploy(&g).unwrap();
+        let s = engine.output_schema(&d.output_handle).unwrap();
+        assert_eq!(s.field_names(), vec!["rainrate"]);
+        assert!(engine
+            .output_schema(&StreamHandle::from_uri("exacml://x/streams/999"))
+            .is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the stream engine.
+
+use std::fmt;
+
+/// Errors produced by the DSMS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsmsError {
+    /// A stream with this name is already registered.
+    StreamAlreadyExists(String),
+    /// No stream with this name is registered.
+    UnknownStream(String),
+    /// No deployment / output stream with this handle exists.
+    UnknownHandle(String),
+    /// A tuple did not match the schema of the stream it was pushed to.
+    SchemaMismatch { stream: String, detail: String },
+    /// A query graph referenced an attribute that does not exist in the
+    /// upstream schema.
+    UnknownAttribute { operator: String, attribute: String },
+    /// A query graph is structurally invalid (e.g. empty, or its window
+    /// specification is degenerate).
+    InvalidGraph(String),
+    /// A filter condition could not be parsed.
+    BadCondition(String),
+    /// The StreamSQL text could not be parsed.
+    StreamSqlParse { line: usize, detail: String },
+    /// An aggregate function cannot be applied to the attribute's type.
+    BadAggregate { attribute: String, function: String, detail: String },
+}
+
+impl fmt::Display for DsmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmsError::StreamAlreadyExists(name) => write!(f, "stream '{name}' already exists"),
+            DsmsError::UnknownStream(name) => write!(f, "unknown stream '{name}'"),
+            DsmsError::UnknownHandle(uri) => write!(f, "unknown stream handle '{uri}'"),
+            DsmsError::SchemaMismatch { stream, detail } => {
+                write!(f, "tuple does not match schema of stream '{stream}': {detail}")
+            }
+            DsmsError::UnknownAttribute { operator, attribute } => {
+                write!(f, "operator {operator} references unknown attribute '{attribute}'")
+            }
+            DsmsError::InvalidGraph(detail) => write!(f, "invalid query graph: {detail}"),
+            DsmsError::BadCondition(detail) => write!(f, "bad filter condition: {detail}"),
+            DsmsError::StreamSqlParse { line, detail } => {
+                write!(f, "StreamSQL parse error at line {line}: {detail}")
+            }
+            DsmsError::BadAggregate { attribute, function, detail } => {
+                write!(f, "cannot apply {function} to attribute '{attribute}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DsmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(DsmsError::UnknownStream("weather".into()).to_string().contains("weather"));
+        assert!(DsmsError::StreamSqlParse { line: 3, detail: "x".into() }
+            .to_string()
+            .contains("line 3"));
+        assert!(DsmsError::UnknownAttribute { operator: "map".into(), attribute: "rr".into() }
+            .to_string()
+            .contains("rr"));
+    }
+}

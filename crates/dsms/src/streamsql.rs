@@ -1,0 +1,385 @@
+//! StreamSQL generation and parsing.
+//!
+//! StreamBase exposes query graphs through **StreamSQL**, a SQL-like surface
+//! syntax (Figure 4(b) of the paper). The eXACML+ PEP converts merged query
+//! graphs into StreamSQL scripts before sending them to the DSMS, and the
+//! *direct-query* baseline of the evaluation feeds StreamSQL scripts straight
+//! to the engine. This module provides both directions:
+//!
+//! * [`generate`] — render a [`QueryGraph`] (plus its input schema) as a
+//!   StreamSQL script in the same shape as Figure 4(b);
+//! * [`parse`] — parse such a script back into the input stream name, its
+//!   schema and the query graph (used by the direct-query workload files).
+
+use crate::error::DsmsError;
+use crate::graph::{QueryGraph, QueryGraphBuilder};
+use crate::ops::aggregate::{AggFunc, AggSpec};
+use crate::ops::Operator;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use crate::window::{WindowKind, WindowSpec};
+
+/// Render a query graph as a StreamSQL script.
+///
+/// The script always begins with the `CREATE INPUT STREAM` declaration of the
+/// source stream and ends with a `SELECT ... INTO output` statement, exactly
+/// like the paper's Figure 4(b).
+#[must_use]
+pub fn generate(graph: &QueryGraph, input_schema: &Schema) -> String {
+    let mut out = String::new();
+    // CREATE INPUT STREAM weather (samplingtime timestamp, ...);
+    let fields: Vec<String> = input_schema
+        .fields()
+        .iter()
+        .map(|f| format!("{} {}", f.name, f.data_type.sql_name()))
+        .collect();
+    out.push_str(&format!("CREATE INPUT STREAM {} ({});\n", graph.stream, fields.join(", ")));
+
+    if graph.is_empty() {
+        out.push_str("CREATE OUTPUT STREAM output;\n");
+        out.push_str(&format!("SELECT * FROM {} INTO output;\n", graph.stream));
+        return out;
+    }
+
+    let mut source = graph.stream.clone();
+    let last = graph.nodes.len() - 1;
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let target = if i == last { "output".to_string() } else { format!("internal_{i}") };
+        if i == last {
+            out.push_str("CREATE OUTPUT STREAM output;\n");
+        } else {
+            out.push_str(&format!("CREATE STREAM {target};\n"));
+        }
+        match &node.operator {
+            Operator::Filter(op) => {
+                out.push_str(&format!(
+                    "SELECT * FROM {source} WHERE {} INTO {target};\n",
+                    op.source()
+                ));
+            }
+            Operator::Map(op) => {
+                out.push_str(&format!(
+                    "SELECT {} FROM {source} INTO {target};\n",
+                    op.attributes().join(", ")
+                ));
+            }
+            Operator::Aggregate(op) => {
+                let window_name = format!("_{}{}", op.window.size, op.window.kind.keyword());
+                let unit = match op.window.kind {
+                    WindowKind::Tuple => "TUPLES",
+                    WindowKind::Time => "TIME",
+                };
+                out.push_str(&format!(
+                    "CREATE WINDOW {window_name} (SIZE {} ADVANCE {} {unit});\n",
+                    op.window.size, op.window.advance
+                ));
+                let selects: Vec<String> = op
+                    .specs
+                    .iter()
+                    .map(|s| format!("{}({}) AS {}", s.function.keyword(), s.attribute, s.output_name()))
+                    .collect();
+                out.push_str(&format!(
+                    "SELECT {} FROM {source}[{window_name}] INTO {target};\n",
+                    selects.join(", ")
+                ));
+            }
+        }
+        source = target;
+    }
+    out
+}
+
+/// The result of parsing a StreamSQL script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedScript {
+    /// Name of the input stream declared by `CREATE INPUT STREAM`.
+    pub stream: String,
+    /// Schema of the input stream.
+    pub schema: Schema,
+    /// The query graph described by the `SELECT` statements.
+    pub graph: QueryGraph,
+}
+
+/// Parse a StreamSQL script (the dialect produced by [`generate`]).
+///
+/// # Errors
+/// Returns [`DsmsError::StreamSqlParse`] describing the offending statement.
+pub fn parse(script: &str) -> Result<ParsedScript, DsmsError> {
+    let mut stream: Option<String> = None;
+    let mut schema: Option<Schema> = None;
+    let mut windows: Vec<(String, WindowSpec)> = Vec::new();
+    let mut builder: Option<QueryGraphBuilder> = None;
+
+    for (line_no, raw) in script.split(';').enumerate() {
+        // Drop comment lines, then re-join so a statement may be preceded by
+        // `-- ...` comments within the same `;`-terminated chunk.
+        let stmt = raw
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("--"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let stmt = stmt.trim().trim_end_matches(';').trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let upper = stmt.to_ascii_uppercase();
+        let err = |detail: String| DsmsError::StreamSqlParse { line: line_no + 1, detail };
+
+        if upper.starts_with("CREATE INPUT STREAM") {
+            let rest = &stmt["CREATE INPUT STREAM".len()..];
+            let open = rest.find('(').ok_or_else(|| err("missing '(' in input stream declaration".into()))?;
+            let close = rest.rfind(')').ok_or_else(|| err("missing ')' in input stream declaration".into()))?;
+            let name = rest[..open].trim().to_string();
+            if name.is_empty() {
+                return Err(err("missing input stream name".into()));
+            }
+            let mut fields = Vec::new();
+            for col in rest[open + 1..close].split(',') {
+                let col = col.trim();
+                if col.is_empty() {
+                    continue;
+                }
+                let mut parts = col.split_whitespace();
+                let fname = parts.next().ok_or_else(|| err(format!("bad column '{col}'")))?;
+                let ftype = parts.next().ok_or_else(|| err(format!("column '{fname}' missing a type")))?;
+                let data_type = DataType::from_sql_name(ftype)
+                    .ok_or_else(|| err(format!("unknown type '{ftype}'")))?;
+                fields.push(Field::new(fname, data_type));
+            }
+            let s = Schema::new(fields);
+            s.validate().map_err(&err)?;
+            builder = Some(QueryGraphBuilder::on_stream(name.clone()));
+            stream = Some(name);
+            schema = Some(s);
+        } else if upper.starts_with("CREATE OUTPUT STREAM") || upper.starts_with("CREATE STREAM") {
+            // Intermediate stream declarations carry no information we need.
+        } else if upper.starts_with("CREATE WINDOW") {
+            let rest = &stmt["CREATE WINDOW".len()..];
+            let open = rest.find('(').ok_or_else(|| err("missing '(' in window declaration".into()))?;
+            let close = rest.rfind(')').ok_or_else(|| err("missing ')' in window declaration".into()))?;
+            let name = rest[..open].trim().to_string();
+            let body = rest[open + 1..close].to_ascii_uppercase();
+            let tokens: Vec<&str> = body.split_whitespace().collect();
+            let size_pos = tokens.iter().position(|t| *t == "SIZE").ok_or_else(|| err("window missing SIZE".into()))?;
+            let adv_pos = tokens.iter().position(|t| *t == "ADVANCE").ok_or_else(|| err("window missing ADVANCE".into()))?;
+            let size: u64 = tokens
+                .get(size_pos + 1)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad window SIZE".into()))?;
+            let advance: u64 = tokens
+                .get(adv_pos + 1)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad window ADVANCE".into()))?;
+            let kind = if tokens.iter().any(|t| *t == "TIME" || *t == "SECONDS") {
+                WindowKind::Time
+            } else {
+                WindowKind::Tuple
+            };
+            windows.push((name, WindowSpec { kind, size, advance }));
+        } else if upper.starts_with("SELECT") {
+            let b = builder.take().ok_or_else(|| err("SELECT before CREATE INPUT STREAM".into()))?;
+            let next = parse_select(stmt, &upper, &windows, b, line_no + 1)?;
+            builder = Some(next);
+        } else {
+            return Err(err(format!("unrecognised statement: {stmt}")));
+        }
+    }
+
+    let stream = stream.ok_or(DsmsError::StreamSqlParse {
+        line: 0,
+        detail: "script declares no input stream".into(),
+    })?;
+    let schema = schema.expect("schema is set together with stream");
+    let graph = builder.expect("builder is set together with stream").build();
+    Ok(ParsedScript { stream, schema, graph })
+}
+
+/// Parse one `SELECT ... FROM src[window]? (WHERE cond)? INTO target` into
+/// zero or more operators appended to the builder.
+fn parse_select(
+    stmt: &str,
+    upper: &str,
+    windows: &[(String, WindowSpec)],
+    mut builder: QueryGraphBuilder,
+    line: usize,
+) -> Result<QueryGraphBuilder, DsmsError> {
+    let err = |detail: String| DsmsError::StreamSqlParse { line, detail };
+    let from_pos = upper.find(" FROM ").ok_or_else(|| err("SELECT without FROM".into()))?;
+    let into_pos = upper.rfind(" INTO ").ok_or_else(|| err("SELECT without INTO".into()))?;
+    let select_list = stmt["SELECT".len()..from_pos].trim();
+    let where_pos = upper.find(" WHERE ");
+    let from_clause_end = where_pos.unwrap_or(into_pos);
+    let from_clause = stmt[from_pos + " FROM ".len()..from_clause_end].trim();
+
+    // WHERE → filter box.
+    if let Some(wp) = where_pos {
+        let condition = stmt[wp + " WHERE ".len()..into_pos].trim();
+        builder = builder.filter_str(condition)?;
+    }
+
+    // Window reference → aggregation box; otherwise projection (unless `*`).
+    if let Some(open) = from_clause.find('[') {
+        let close = from_clause.rfind(']').ok_or_else(|| err("missing ']' after window reference".into()))?;
+        let window_name = from_clause[open + 1..close].trim();
+        let spec = windows
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(window_name))
+            .map(|(_, s)| *s)
+            .ok_or_else(|| err(format!("unknown window '{window_name}'")))?;
+        let mut specs = Vec::new();
+        for item in select_list.split(',') {
+            let item = item.trim();
+            let open = item.find('(').ok_or_else(|| err(format!("expected func(attr) in '{item}'")))?;
+            let close = item.find(')').ok_or_else(|| err(format!("missing ')' in '{item}'")))?;
+            let func = AggFunc::from_keyword(item[..open].trim())
+                .ok_or_else(|| err(format!("unknown aggregate function in '{item}'")))?;
+            let attr = item[open + 1..close].trim();
+            specs.push(AggSpec::new(attr, func));
+        }
+        builder = builder.aggregate(spec, specs);
+    } else if select_list != "*" {
+        let attrs: Vec<String> = select_list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if attrs.is_empty() {
+            return Err(err("empty SELECT list".into()));
+        }
+        builder = builder.map(attrs);
+    }
+    Ok(builder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::QueryGraphBuilder;
+    use crate::ops::aggregate::AggFunc;
+
+    fn figure4b_graph() -> (QueryGraph, Schema) {
+        let graph = QueryGraphBuilder::on_stream("weather")
+            .filter_str("rainrate > 50")
+            .unwrap()
+            .map(["samplingtime", "rainrate"])
+            .aggregate(
+                WindowSpec::tuples(10, 2),
+                vec![
+                    AggSpec::new("samplingtime", AggFunc::LastValue),
+                    AggSpec::new("rainrate", AggFunc::Avg),
+                ],
+            )
+            .build();
+        (graph, Schema::weather_example())
+    }
+
+    #[test]
+    fn generate_matches_figure4b_shape() {
+        let (graph, schema) = figure4b_graph();
+        let sql = generate(&graph, &schema);
+        assert!(sql.contains("CREATE INPUT STREAM weather (samplingtime timestamp"));
+        assert!(sql.contains("SELECT * FROM weather WHERE rainrate > 50 INTO internal_0"));
+        assert!(sql.contains("SELECT samplingtime, rainrate FROM internal_0 INTO internal_1"));
+        assert!(sql.contains("CREATE WINDOW _10tuple (SIZE 10 ADVANCE 2 TUPLES)"));
+        assert!(sql.contains("avg(rainrate) AS avgrainrate"));
+        assert!(sql.contains("lastval(samplingtime) AS lastvalsamplingtime"));
+        assert!(sql.trim_end().ends_with("INTO output;"));
+    }
+
+    #[test]
+    fn generate_identity_graph() {
+        let schema = Schema::weather_example();
+        let sql = generate(&QueryGraph::identity("weather"), &schema);
+        assert!(sql.contains("SELECT * FROM weather INTO output"));
+    }
+
+    #[test]
+    fn round_trip_filter_map_aggregate() {
+        let (graph, schema) = figure4b_graph();
+        let sql = generate(&graph, &schema);
+        let parsed = parse(&sql).unwrap();
+        assert_eq!(parsed.stream, "weather");
+        assert_eq!(parsed.schema, schema);
+        assert_eq!(parsed.graph.composition(), "FB+MB+AB");
+        assert_eq!(parsed.graph.filter().unwrap().source(), "rainrate > 50");
+        assert_eq!(parsed.graph.map().unwrap().attributes(), &["samplingtime".to_string(), "rainrate".to_string()]);
+        let agg = parsed.graph.aggregate().unwrap();
+        assert_eq!(agg.window, WindowSpec::tuples(10, 2));
+        assert_eq!(agg.specs.len(), 2);
+        // The parsed graph must validate and produce the same output schema.
+        assert_eq!(
+            parsed.graph.output_schema(&schema).unwrap(),
+            graph.output_schema(&schema).unwrap()
+        );
+    }
+
+    #[test]
+    fn round_trip_single_box_graphs() {
+        let schema = Schema::weather_example();
+        for graph in [
+            QueryGraphBuilder::on_stream("weather").filter_str("windspeed <= 30").unwrap().build(),
+            QueryGraphBuilder::on_stream("weather").map(["rainrate", "windspeed"]).build(),
+            QueryGraphBuilder::on_stream("weather")
+                .aggregate(WindowSpec::time(60_000, 30_000), vec![AggSpec::new("rainrate", AggFunc::Sum)])
+                .build(),
+            QueryGraph::identity("weather"),
+        ] {
+            let sql = generate(&graph, &schema);
+            let parsed = parse(&sql).unwrap();
+            assert_eq!(parsed.graph.composition(), graph.composition(), "script:\n{sql}");
+            assert_eq!(
+                parsed.graph.output_schema(&schema).unwrap(),
+                graph.output_schema(&schema).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scripts() {
+        assert!(matches!(parse("SELECT * FROM x INTO y;"), Err(DsmsError::StreamSqlParse { .. })));
+        assert!(matches!(parse(""), Err(DsmsError::StreamSqlParse { .. })));
+        assert!(matches!(
+            parse("CREATE INPUT STREAM s (a blob);"),
+            Err(DsmsError::StreamSqlParse { .. })
+        ));
+        assert!(matches!(
+            parse("CREATE INPUT STREAM s (a int);\nDROP TABLE s;"),
+            Err(DsmsError::StreamSqlParse { .. })
+        ));
+        // Unknown window reference.
+        let script = "CREATE INPUT STREAM s (a int);\nSELECT avg(a) AS avga FROM s[_5tuple] INTO output;";
+        assert!(matches!(parse(script), Err(DsmsError::StreamSqlParse { .. })));
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let script = "-- weather feed\nCREATE INPUT STREAM s (a int);\n\nSELECT * FROM s WHERE a > 3 INTO output;";
+        let parsed = parse(script).unwrap();
+        assert_eq!(parsed.graph.composition(), "FB");
+    }
+
+    #[test]
+    fn parsed_graph_is_deployable() {
+        use crate::engine::StreamEngine;
+        use crate::tuple::Tuple;
+        use crate::value::Value;
+        let (graph, schema) = figure4b_graph();
+        let sql = generate(&graph, &schema);
+        let parsed = parse(&sql).unwrap();
+
+        let mut engine = StreamEngine::new();
+        engine.register_stream(&parsed.stream, parsed.schema.clone()).unwrap();
+        let d = engine.deploy(&parsed.graph).unwrap();
+        let rx = engine.subscribe(&d.output_handle).unwrap();
+        for i in 0..25 {
+            let t = Tuple::builder(&parsed.schema)
+                .set("samplingtime", Value::Timestamp(i))
+                .set("rainrate", 60.0 + i as f64)
+                .finish_with_defaults();
+            engine.push(&parsed.stream, t).unwrap();
+        }
+        // 25 tuples all pass the filter; window size 10 advance 2 → windows
+        // close at tuple 10, 12, ..., 24 → 8 emissions.
+        assert_eq!(rx.try_iter().count(), 8);
+    }
+}

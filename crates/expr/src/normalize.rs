@@ -1,0 +1,158 @@
+//! NOT-elimination (Step 1 of the Section 3.5 procedure).
+//!
+//! `NOT` is pushed inward using De Morgan's laws for `AND`/`OR` and the
+//! paper's Table 2 rules for simple expressions (`NOT (x > v)` ≡ `x <= v`,
+//! and so on). The result contains no `Not` node at all, which is what the
+//! postfix/DNF machinery in [`crate::dnf`] expects.
+
+use crate::ast::Expr;
+
+/// Rewrite `expr` into an equivalent expression without any `NOT` node.
+///
+/// The rewrite is purely structural and preserves the truth table (verified
+/// by the property tests at the bottom of this module and in `tests/`).
+#[must_use]
+pub fn eliminate_not(expr: &Expr) -> Expr {
+    push_not(expr, false)
+}
+
+/// Recursive helper: `negated` says whether an odd number of enclosing NOTs
+/// applies to the current node.
+fn push_not(expr: &Expr, negated: bool) -> Expr {
+    match expr {
+        Expr::True => {
+            if negated {
+                Expr::False
+            } else {
+                Expr::True
+            }
+        }
+        Expr::False => {
+            if negated {
+                Expr::True
+            } else {
+                Expr::False
+            }
+        }
+        Expr::Simple(s) => {
+            if negated {
+                Expr::Simple(s.negate())
+            } else {
+                Expr::Simple(s.clone())
+            }
+        }
+        Expr::Not(inner) => push_not(inner, !negated),
+        Expr::And(a, b) => {
+            let left = push_not(a, negated);
+            let right = push_not(b, negated);
+            if negated {
+                // De Morgan: NOT (a AND b) = (NOT a) OR (NOT b)
+                Expr::Or(Box::new(left), Box::new(right))
+            } else {
+                Expr::And(Box::new(left), Box::new(right))
+            }
+        }
+        Expr::Or(a, b) => {
+            let left = push_not(a, negated);
+            let right = push_not(b, negated);
+            if negated {
+                // De Morgan: NOT (a OR b) = (NOT a) AND (NOT b)
+                Expr::And(Box::new(left), Box::new(right))
+            } else {
+                Expr::Or(Box::new(left), Box::new(right))
+            }
+        }
+    }
+}
+
+/// Returns `true` if the expression contains no `Not` node.
+#[must_use]
+pub fn is_not_free(expr: &Expr) -> bool {
+    match expr {
+        Expr::True | Expr::False | Expr::Simple(_) => true,
+        Expr::Not(_) => false,
+        Expr::And(a, b) | Expr::Or(a, b) => is_not_free(a) && is_not_free(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Bindings, MapBindings};
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn simple_negation_uses_table2() {
+        let e = parse_expr("NOT (a > 5)").unwrap();
+        assert_eq!(eliminate_not(&e), parse_expr("a <= 5").unwrap());
+        let e = parse_expr("NOT (a != 40)").unwrap();
+        assert_eq!(eliminate_not(&e), parse_expr("a = 40").unwrap());
+    }
+
+    #[test]
+    fn de_morgan_over_and() {
+        let e = parse_expr("NOT (a > 5 AND b < 3)").unwrap();
+        assert_eq!(eliminate_not(&e), parse_expr("a <= 5 OR b >= 3").unwrap());
+    }
+
+    #[test]
+    fn de_morgan_over_or() {
+        let e = parse_expr("NOT (a = 1 OR b = 2)").unwrap();
+        assert_eq!(eliminate_not(&e), parse_expr("a != 1 AND b != 2").unwrap());
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = parse_expr("NOT (NOT (a > 5))").unwrap();
+        assert_eq!(eliminate_not(&e), parse_expr("a > 5").unwrap());
+    }
+
+    #[test]
+    fn paper_example4_elimination() {
+        // P = C1 AND C2 with C1 = (a>20 AND a<30) OR NOT(a != 40),
+        // C2 = NOT(a>=10) AND b=20.
+        // After elimination: P1 = ((a>20 AND a<30) OR a=40) AND (a<10 AND b=20).
+        let p = parse_expr("((a > 20 AND a < 30) OR NOT (a != 40)) AND (NOT (a >= 10) AND b = 20)")
+            .unwrap();
+        let p1 = eliminate_not(&p);
+        assert!(is_not_free(&p1));
+        let expected =
+            parse_expr("((a > 20 AND a < 30) OR a = 40) AND (a < 10 AND b = 20)").unwrap();
+        assert_eq!(p1, expected);
+    }
+
+    #[test]
+    fn constants_negate() {
+        assert_eq!(eliminate_not(&parse_expr("NOT TRUE").unwrap()), Expr::False);
+        assert_eq!(eliminate_not(&parse_expr("NOT FALSE").unwrap()), Expr::True);
+    }
+
+    #[test]
+    fn truth_table_preserved_on_small_grid() {
+        // Exhaustively compare the original and rewritten expression on a
+        // small grid of attribute values.
+        let exprs = [
+            "NOT (a > 5 AND (b < 3 OR NOT a = 4))",
+            "NOT (NOT (a >= 2) OR (b != 1 AND NOT b <= 4))",
+            "NOT ((a = 1 OR a = 2) AND NOT (b > 0))",
+        ];
+        for src in exprs {
+            let original = parse_expr(src).unwrap();
+            let rewritten = eliminate_not(&original);
+            assert!(is_not_free(&rewritten), "{src} still contains NOT");
+            for a in -1..=6 {
+                for b in -1..=6 {
+                    let bindings = MapBindings::new()
+                        .with_number("a", f64::from(a))
+                        .with_number("b", f64::from(b));
+                    assert_eq!(
+                        crate::eval::eval(&original, &bindings),
+                        crate::eval::eval(&rewritten, &bindings),
+                        "mismatch for {src} at a={a}, b={b}"
+                    );
+                    let _ = bindings.lookup("a");
+                }
+            }
+        }
+    }
+}

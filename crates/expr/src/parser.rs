@@ -1,0 +1,317 @@
+//! Recursive-descent parser for filter conditions.
+//!
+//! Grammar (standard precedence: `NOT` binds tighter than `AND`, which binds
+//! tighter than `OR`):
+//!
+//! ```text
+//! expr      := or_expr
+//! or_expr   := and_expr ( OR and_expr )*
+//! and_expr  := not_expr ( AND not_expr )*
+//! not_expr  := NOT not_expr | primary
+//! primary   := '(' expr ')' | TRUE | FALSE | simple
+//! simple    := IDENT op literal | literal op IDENT      (the latter is flipped)
+//! op        := '<' | '>' | '<=' | '>=' | '=' | '!='
+//! literal   := NUMBER | STRING
+//! ```
+
+use crate::ast::{CmpOp, Expr, Scalar, SimpleExpr};
+use crate::error::ExprError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parse a condition string into an [`Expr`].
+///
+/// # Errors
+/// Returns [`ExprError`] on lexical or syntactic problems, and on
+/// ill-typed simple expressions (ordering operators on strings).
+pub fn parse_expr(input: &str) -> Result<Expr, ExprError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ExprError::EmptyExpression);
+    }
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        let t = &parser.tokens[parser.pos];
+        return Err(ExprError::UnexpectedToken {
+            expected: "end of input".into(),
+            found: format!("{:?}", t.token),
+            position: t.position,
+        });
+    }
+    if !expr.is_well_formed() {
+        // Locate the first offending leaf for the error message.
+        let mut bad: Option<SimpleExpr> = None;
+        expr.visit_simple(&mut |s| {
+            if bad.is_none() && !s.is_well_formed() {
+                bad = Some(s.clone());
+            }
+        });
+        let s = bad.expect("ill-formed expr must contain an ill-formed leaf");
+        return Err(ExprError::InvalidStringComparison { attribute: s.attr, op: s.op.to_string() });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ExprError> {
+        match self.advance() {
+            Some(t) if &t.token == expected => Ok(()),
+            Some(t) => Err(ExprError::UnexpectedToken {
+                expected: what.into(),
+                found: format!("{:?}", t.token),
+                position: t.position,
+            }),
+            None => Err(ExprError::UnexpectedEof { expected: what.into() }),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ExprError> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek().map(|t| &t.token), Some(Token::Or)) {
+            self.advance();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ExprError> {
+        let mut left = self.parse_not()?;
+        while matches!(self.peek().map(|t| &t.token), Some(Token::And)) {
+            self.advance();
+            let right = self.parse_not()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ExprError> {
+        if matches!(self.peek().map(|t| &t.token), Some(Token::Not)) {
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ExprError> {
+        let spanned = self
+            .advance()
+            .ok_or_else(|| ExprError::UnexpectedEof { expected: "expression".into() })?;
+        match spanned.token {
+            Token::LParen => {
+                let inner = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Token::True => Ok(Expr::True),
+            Token::False => Ok(Expr::False),
+            Token::Ident(attr) => {
+                let op = self.parse_op()?;
+                let value = self.parse_literal()?;
+                Ok(Expr::Simple(SimpleExpr::new(attr, op, value)))
+            }
+            // Allow the flipped form `5 < rainrate`, normalising to `rainrate > 5`.
+            Token::Number(n) => {
+                let op = self.parse_op()?;
+                let attr = self.parse_ident()?;
+                Ok(Expr::Simple(SimpleExpr::new(attr, flip(op), Scalar::Number(n))))
+            }
+            Token::Text(s) => {
+                let op = self.parse_op()?;
+                let attr = self.parse_ident()?;
+                Ok(Expr::Simple(SimpleExpr::new(attr, flip(op), Scalar::Text(s))))
+            }
+            other => Err(ExprError::UnexpectedToken {
+                expected: "attribute, literal, '(' , TRUE or FALSE".into(),
+                found: format!("{other:?}"),
+                position: spanned.position,
+            }),
+        }
+    }
+
+    fn parse_op(&mut self) -> Result<CmpOp, ExprError> {
+        let spanned = self
+            .advance()
+            .ok_or_else(|| ExprError::UnexpectedEof { expected: "comparison operator".into() })?;
+        match spanned.token {
+            Token::Lt => Ok(CmpOp::Lt),
+            Token::Gt => Ok(CmpOp::Gt),
+            Token::Le => Ok(CmpOp::Le),
+            Token::Ge => Ok(CmpOp::Ge),
+            Token::Eq => Ok(CmpOp::Eq),
+            Token::Ne => Ok(CmpOp::Ne),
+            other => Err(ExprError::UnexpectedToken {
+                expected: "comparison operator".into(),
+                found: format!("{other:?}"),
+                position: spanned.position,
+            }),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Scalar, ExprError> {
+        let spanned = self
+            .advance()
+            .ok_or_else(|| ExprError::UnexpectedEof { expected: "literal".into() })?;
+        match spanned.token {
+            Token::Number(n) => Ok(Scalar::Number(n)),
+            Token::Text(s) => Ok(Scalar::Text(s)),
+            other => Err(ExprError::UnexpectedToken {
+                expected: "numeric or string literal".into(),
+                found: format!("{other:?}"),
+                position: spanned.position,
+            }),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String, ExprError> {
+        let spanned = self
+            .advance()
+            .ok_or_else(|| ExprError::UnexpectedEof { expected: "attribute name".into() })?;
+        match spanned.token {
+            Token::Ident(name) => Ok(name),
+            other => Err(ExprError::UnexpectedToken {
+                expected: "attribute name".into(),
+                found: format!("{other:?}"),
+                position: spanned.position,
+            }),
+        }
+    }
+}
+
+/// Flip a comparison when the literal was written on the left-hand side
+/// (`5 < x` becomes `x > 5`).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Expr};
+
+    #[test]
+    fn parses_paper_example_condition() {
+        let e = parse_expr("rainrate > 5").unwrap();
+        assert_eq!(e, Expr::simple("rainrate", CmpOp::Gt, 5.0));
+    }
+
+    #[test]
+    fn parses_example4_conditions() {
+        // C1 = (a>20 AND a<30) OR NOT(a != 40)
+        let c1 = parse_expr("(a > 20 AND a < 30) OR NOT (a != 40)").unwrap();
+        assert_eq!(c1.leaf_count(), 3);
+        // C2 = NOT(a>=10) AND b=20
+        let c2 = parse_expr("NOT (a >= 10) AND b = 20").unwrap();
+        assert_eq!(c2.leaf_count(), 2);
+    }
+
+    #[test]
+    fn respects_precedence_not_over_and_over_or() {
+        // a > 1 OR b > 2 AND c > 3  ==  a > 1 OR (b > 2 AND c > 3)
+        let e = parse_expr("a > 1 OR b > 2 AND c > 3").unwrap();
+        match e {
+            Expr::Or(left, right) => {
+                assert_eq!(*left, Expr::simple("a", CmpOp::Gt, 1.0));
+                assert!(matches!(*right, Expr::And(_, _)));
+            }
+            other => panic!("expected OR at the root, got {other:?}"),
+        }
+        // NOT a = 1 AND b = 2  ==  (NOT a = 1) AND b = 2
+        let e = parse_expr("NOT a = 1 AND b = 2").unwrap();
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn parses_parentheses_and_nested_not() {
+        let e = parse_expr("NOT (NOT (a > 1))").unwrap();
+        assert_eq!(e.leaf_count(), 1);
+        assert!(matches!(e, Expr::Not(_)));
+    }
+
+    #[test]
+    fn parses_flipped_literal_first_form() {
+        let e = parse_expr("5 < rainrate").unwrap();
+        assert_eq!(e, Expr::simple("rainrate", CmpOp::Gt, 5.0));
+        let e = parse_expr("10 >= a").unwrap();
+        assert_eq!(e, Expr::simple("a", CmpOp::Le, 10.0));
+        let e = parse_expr("'S11' = station").unwrap();
+        assert_eq!(e, Expr::simple("station", CmpOp::Eq, "S11"));
+    }
+
+    #[test]
+    fn parses_true_false_constants() {
+        assert_eq!(parse_expr("TRUE").unwrap(), Expr::True);
+        assert_eq!(parse_expr("false").unwrap(), Expr::False);
+        assert_eq!(parse_expr("TRUE AND a > 1").unwrap().leaf_count(), 1);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(matches!(
+            parse_expr("a > 1 b < 2"),
+            Err(ExprError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_operand() {
+        assert!(matches!(parse_expr("a >"), Err(ExprError::UnexpectedEof { .. })));
+        assert!(matches!(parse_expr("a > 1 AND"), Err(ExprError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(parse_expr(""), Err(ExprError::EmptyExpression)));
+        assert!(matches!(parse_expr("   "), Err(ExprError::EmptyExpression)));
+    }
+
+    #[test]
+    fn rejects_ordering_on_strings() {
+        assert!(matches!(
+            parse_expr("station < 'S11'"),
+            Err(ExprError::InvalidStringComparison { .. })
+        ));
+        // Equality on strings is fine.
+        assert!(parse_expr("station = 'S11'").is_ok());
+    }
+
+    #[test]
+    fn rejects_unbalanced_parentheses() {
+        assert!(parse_expr("(a > 1").is_err());
+        assert!(parse_expr("a > 1)").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let source = "(a > 20) AND ((b < 30) OR (c = 40))";
+        let e = parse_expr(source).unwrap();
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(e, reparsed);
+    }
+}

@@ -1,0 +1,207 @@
+//! Materialising the workload as files on disk.
+//!
+//! The paper's experiment drives both systems from files: "each continuous
+//! query corresponds to three files in the experiment: (1) a StreamSQL
+//! script [...]; (2) a XACML policy file [...]; (3) a XACML request file"
+//! (Section 4.2). This module writes the generated corpus into exactly that
+//! layout and reads it back, so experiments can be re-run from the same
+//! artefacts (or inspected/modified by hand):
+//!
+//! ```text
+//! <root>/
+//!   manifest.txt                 # one line per query: index, stream, composition, subject
+//!   query-0000/
+//!     direct.sql                 # file (1)
+//!     policy.xml                 # file (2)
+//!     request.xml                # file (3)
+//!   query-0001/
+//!     ...
+//! ```
+
+use crate::generator::ContinuousQuery;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One query's three file paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFiles {
+    /// Directory holding the three files.
+    pub directory: PathBuf,
+    /// File (1): the StreamSQL script.
+    pub streamsql: PathBuf,
+    /// File (2): the policy document.
+    pub policy: PathBuf,
+    /// File (3): the request document.
+    pub request: PathBuf,
+}
+
+/// Write the corpus under `root`, returning the per-query file locations.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn export_corpus(root: &Path, queries: &[ContinuousQuery]) -> io::Result<Vec<QueryFiles>> {
+    fs::create_dir_all(root)?;
+    let mut manifest = String::new();
+    let mut out = Vec::with_capacity(queries.len());
+    for query in queries {
+        let directory = root.join(format!("query-{:04}", query.index));
+        fs::create_dir_all(&directory)?;
+        let files = QueryFiles {
+            streamsql: directory.join("direct.sql"),
+            policy: directory.join("policy.xml"),
+            request: directory.join("request.xml"),
+            directory,
+        };
+        fs::write(&files.streamsql, &query.streamsql)?;
+        fs::write(&files.policy, query.policy_xml())?;
+        fs::write(&files.request, query.request_xml())?;
+        manifest.push_str(&format!(
+            "{:04}\t{}\t{}\t{}\n",
+            query.index, query.stream, query.composition, query.subject
+        ));
+        out.push(files);
+    }
+    fs::write(root.join("manifest.txt"), manifest)?;
+    Ok(out)
+}
+
+/// A corpus entry read back from disk.
+#[derive(Debug, Clone)]
+pub struct ImportedQuery {
+    /// Index recorded in the manifest.
+    pub index: usize,
+    /// Stream name recorded in the manifest.
+    pub stream: String,
+    /// Composition label recorded in the manifest.
+    pub composition: String,
+    /// Subject recorded in the manifest.
+    pub subject: String,
+    /// The StreamSQL script text.
+    pub streamsql: String,
+    /// The parsed policy.
+    pub policy: exacml_xacml::Policy,
+    /// The parsed request.
+    pub request: exacml_xacml::Request,
+}
+
+/// Read a corpus previously written by [`export_corpus`].
+///
+/// # Errors
+/// Returns an `io::Error` (with `InvalidData` kind for parse failures)
+/// describing the first problem found.
+pub fn import_corpus(root: &Path) -> io::Result<Vec<ImportedQuery>> {
+    let manifest = fs::read_to_string(root.join("manifest.txt"))?;
+    let mut out = Vec::new();
+    for (line_no, line) in manifest.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 4 {
+            return Err(bad_data(format!("manifest line {} is malformed: {line}", line_no + 1)));
+        }
+        let index: usize = parts[0]
+            .parse()
+            .map_err(|_| bad_data(format!("bad index on manifest line {}", line_no + 1)))?;
+        let directory = root.join(format!("query-{index:04}"));
+        let streamsql = fs::read_to_string(directory.join("direct.sql"))?;
+        let policy_text = fs::read_to_string(directory.join("policy.xml"))?;
+        let request_text = fs::read_to_string(directory.join("request.xml"))?;
+        let policy = exacml_xacml::xml::parse_policy(&policy_text)
+            .map_err(|e| bad_data(format!("query {index}: bad policy: {e}")))?;
+        let request = exacml_xacml::xml::parse_request(&request_text)
+            .map_err(|e| bad_data(format!("query {index}: bad request: {e}")))?;
+        out.push(ImportedQuery {
+            index,
+            stream: parts[1].to_string(),
+            composition: parts[2].to_string(),
+            subject: parts[3].to_string(),
+            streamsql,
+            policy,
+            request,
+        });
+    }
+    Ok(out)
+}
+
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::spec::WorkloadSpec;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("exacml-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_corpus(n: usize) -> Vec<ContinuousQuery> {
+        let mut spec = WorkloadSpec::small();
+        spec.n_policies = n;
+        WorkloadGenerator::new(spec).generate_queries()
+    }
+
+    #[test]
+    fn export_then_import_round_trips() {
+        let root = temp_root("rt");
+        let queries = small_corpus(8);
+        let files = export_corpus(&root, &queries).unwrap();
+        assert_eq!(files.len(), 8);
+        assert!(files[0].streamsql.exists());
+        assert!(files[0].policy.exists());
+        assert!(files[0].request.exists());
+        assert!(root.join("manifest.txt").exists());
+
+        let imported = import_corpus(&root).unwrap();
+        assert_eq!(imported.len(), 8);
+        for (original, loaded) in queries.iter().zip(imported.iter()) {
+            assert_eq!(original.index, loaded.index);
+            assert_eq!(original.stream, loaded.stream);
+            assert_eq!(original.composition, loaded.composition);
+            assert_eq!(original.subject, loaded.subject);
+            assert_eq!(original.streamsql, loaded.streamsql);
+            assert_eq!(original.policy, loaded.policy);
+            // The request matches the policy it was generated with.
+            assert!(loaded.policy.evaluate(&loaded.request).is_some());
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn imported_scripts_still_parse_as_streamsql() {
+        let root = temp_root("sql");
+        let queries = small_corpus(5);
+        export_corpus(&root, &queries).unwrap();
+        for q in import_corpus(&root).unwrap() {
+            let parsed = exacml_dsms::streamsql::parse(&q.streamsql).unwrap();
+            assert_eq!(parsed.graph.composition(), q.composition);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let root = temp_root("missing");
+        fs::create_dir_all(&root).unwrap();
+        assert!(import_corpus(&root).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_policy_is_reported() {
+        let root = temp_root("corrupt");
+        let queries = small_corpus(2);
+        export_corpus(&root, &queries).unwrap();
+        fs::write(root.join("query-0001").join("policy.xml"), "<NotAPolicy/>").unwrap();
+        let err = import_corpus(&root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("query 1"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

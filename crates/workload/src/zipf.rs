@@ -1,0 +1,135 @@
+//! Zipf-distributed rank sampling.
+//!
+//! The second request sequence of the evaluation "follows a Zipf
+//! distribution, which models the scenario where a small number of popular
+//! streams are requested frequently", as observed in peer-to-peer file
+//! sharing and web caching. The paper uses α = 0.223 over the top
+//! `maxRank` = 300 unique requests.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over the ranks `0 .. n`.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k + 1)^α`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with skew `alpha`.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or `alpha` is negative (programming errors in
+    /// experiment setup).
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0, "Zipf skew must be non-negative");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point drift on the last bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative, alpha }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The skew parameter.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The probability of rank `k` (0-based).
+    #[must_use]
+    pub fn probability(&self, k: usize) -> f64 {
+        if k >= self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - prev
+    }
+
+    /// Draw one rank (0-based).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Draw a whole sequence of ranks.
+    pub fn sample_sequence<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(300, 0.223);
+        let total: f64 = (0..300).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..300 {
+            assert!(z.probability(k) <= z.probability(k - 1) + 1e-12);
+        }
+        assert_eq!(z.probability(300), 0.0);
+        assert_eq!(z.ranks(), 300);
+        assert!((z.alpha() - 0.223).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities_roughly() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = z.sample_sequence(50_000, &mut rng);
+        let rank0 = samples.iter().filter(|s| **s == 0).count() as f64 / samples.len() as f64;
+        assert!((rank0 - z.probability(0)).abs() < 0.02, "rank0 freq {rank0} vs p {}", z.probability(0));
+        // Every drawn rank is within range.
+        assert!(samples.iter().all(|s| *s < 50));
+    }
+
+    #[test]
+    fn low_alpha_is_close_to_uniform() {
+        // α = 0.223 (the paper's value) is only mildly skewed: the most
+        // popular rank is requested a few times more than the least popular.
+        let z = Zipf::new(300, 0.223);
+        let ratio = z.probability(0) / z.probability(299);
+        assert!(ratio > 1.0);
+        assert!(ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let z = Zipf::new(100, 0.7);
+        let a = z.sample_sequence(100, &mut StdRng::seed_from_u64(3));
+        let b = z.sample_sequence(100, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for the XACML engine.
+
+use std::fmt;
+
+/// Errors produced by the XACML subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XacmlError {
+    /// A policy with this id already exists in the store.
+    PolicyAlreadyExists(String),
+    /// No policy with this id exists in the store.
+    UnknownPolicy(String),
+    /// A policy document failed structural validation.
+    InvalidPolicy { policy_id: String, detail: String },
+    /// A request document failed structural validation.
+    InvalidRequest(String),
+    /// The XML text could not be parsed.
+    XmlParse { position: usize, detail: String },
+    /// The XML document parsed but does not have the expected structure.
+    XmlStructure(String),
+    /// A data-type URI was not recognised.
+    UnknownDataType(String),
+}
+
+impl fmt::Display for XacmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XacmlError::PolicyAlreadyExists(id) => write!(f, "policy '{id}' already exists"),
+            XacmlError::UnknownPolicy(id) => write!(f, "unknown policy '{id}'"),
+            XacmlError::InvalidPolicy { policy_id, detail } => {
+                write!(f, "invalid policy '{policy_id}': {detail}")
+            }
+            XacmlError::InvalidRequest(detail) => write!(f, "invalid request: {detail}"),
+            XacmlError::XmlParse { position, detail } => {
+                write!(f, "XML parse error at offset {position}: {detail}")
+            }
+            XacmlError::XmlStructure(detail) => write!(f, "unexpected XML structure: {detail}"),
+            XacmlError::UnknownDataType(uri) => write!(f, "unknown data type '{uri}'"),
+        }
+    }
+}
+
+impl std::error::Error for XacmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(XacmlError::UnknownPolicy("p1".into()).to_string().contains("p1"));
+        assert!(XacmlError::XmlParse { position: 10, detail: "x".into() }
+            .to_string()
+            .contains("offset 10"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Policy store and Policy Decision Point.
+//!
+//! The PDP "manages policies and evaluates user requests against the stored
+//! policies, the result of which are permit or deny decisions" together with
+//! the obligations of the matching policy (Section 2.1). The store supports
+//! the add / remove / update operations the query-graph management layer of
+//! eXACML+ reacts to (Section 3.3).
+
+use crate::obligation::Obligation;
+use crate::policy::{Effect, Policy, PolicyCombiningAlg};
+use crate::request::Request;
+use crate::XacmlError;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The final decision returned to the PEP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Access granted.
+    Permit,
+    /// Access explicitly denied.
+    Deny,
+    /// No policy applied to the request.
+    NotApplicable,
+    /// The evaluation could not be completed.
+    Indeterminate,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Decision::Permit => "Permit",
+            Decision::Deny => "Deny",
+            Decision::NotApplicable => "NotApplicable",
+            Decision::Indeterminate => "Indeterminate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The PDP's answer: a decision, the obligations the PEP must fulfil, and the
+/// id of the policy that produced the decision (used by eXACML+ to associate
+/// deployed query graphs with their spawning policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionResponse {
+    /// The decision.
+    pub decision: Decision,
+    /// Obligations attached to the decision.
+    pub obligations: Vec<Obligation>,
+    /// Id of the policy that decided, when one did.
+    pub policy_id: Option<String>,
+}
+
+impl DecisionResponse {
+    /// A Not-Applicable response with no obligations.
+    #[must_use]
+    pub fn not_applicable() -> Self {
+        DecisionResponse { decision: Decision::NotApplicable, obligations: Vec::new(), policy_id: None }
+    }
+
+    /// Whether access was granted.
+    #[must_use]
+    pub fn is_permit(&self) -> bool {
+        self.decision == Decision::Permit
+    }
+}
+
+/// A thread-safe, insertion-ordered policy store.
+#[derive(Debug, Default)]
+pub struct PolicyStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    /// Insertion order of policy ids (first-applicable combining is order
+    /// dependent, and the evaluation workload loads policies sequentially).
+    order: Vec<String>,
+    policies: HashMap<String, Policy>,
+}
+
+impl PolicyStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        PolicyStore::default()
+    }
+
+    /// Load (add) a policy.
+    ///
+    /// # Errors
+    /// Fails when a policy with the same id exists or the policy is invalid.
+    pub fn add(&self, policy: Policy) -> Result<(), XacmlError> {
+        policy
+            .validate()
+            .map_err(|detail| XacmlError::InvalidPolicy { policy_id: policy.id.clone(), detail })?;
+        let mut inner = self.inner.write();
+        if inner.policies.contains_key(&policy.id) {
+            return Err(XacmlError::PolicyAlreadyExists(policy.id));
+        }
+        inner.order.push(policy.id.clone());
+        inner.policies.insert(policy.id.clone(), policy);
+        Ok(())
+    }
+
+    /// Replace an existing policy (keeps its position in the evaluation
+    /// order). This is the "policy modified by the owner" event of
+    /// Section 3.3.
+    ///
+    /// # Errors
+    /// Fails when no policy with this id exists or the new document is
+    /// invalid.
+    pub fn update(&self, policy: Policy) -> Result<(), XacmlError> {
+        policy
+            .validate()
+            .map_err(|detail| XacmlError::InvalidPolicy { policy_id: policy.id.clone(), detail })?;
+        let mut inner = self.inner.write();
+        if !inner.policies.contains_key(&policy.id) {
+            return Err(XacmlError::UnknownPolicy(policy.id));
+        }
+        inner.policies.insert(policy.id.clone(), policy);
+        Ok(())
+    }
+
+    /// Remove a policy. This is the "policy removed by the owner" event of
+    /// Section 3.3.
+    ///
+    /// # Errors
+    /// Fails when no policy with this id exists.
+    pub fn remove(&self, policy_id: &str) -> Result<Policy, XacmlError> {
+        let mut inner = self.inner.write();
+        let policy = inner
+            .policies
+            .remove(policy_id)
+            .ok_or_else(|| XacmlError::UnknownPolicy(policy_id.to_string()))?;
+        inner.order.retain(|id| id != policy_id);
+        Ok(policy)
+    }
+
+    /// Fetch a policy by id.
+    #[must_use]
+    pub fn get(&self, policy_id: &str) -> Option<Policy> {
+        self.inner.read().policies.get(policy_id).cloned()
+    }
+
+    /// Whether a policy with this id is loaded.
+    #[must_use]
+    pub fn contains(&self, policy_id: &str) -> bool {
+        self.inner.read().policies.contains_key(policy_id)
+    }
+
+    /// Number of loaded policies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().policies.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Policy ids in evaluation order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<String> {
+        self.inner.read().order.clone()
+    }
+
+    /// Snapshot of the policies in evaluation order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Policy> {
+        let inner = self.inner.read();
+        inner.order.iter().filter_map(|id| inner.policies.get(id).cloned()).collect()
+    }
+
+    /// Visit every policy in evaluation order without cloning, stopping when
+    /// the visitor returns `Some`. This is the hot path of PDP evaluation —
+    /// the evaluation workload holds a thousand policies and the paper's
+    /// scalability claim depends on the per-request PDP cost staying flat.
+    pub fn scan<R>(&self, mut visitor: impl FnMut(&Policy) -> Option<R>) -> Option<R> {
+        let inner = self.inner.read();
+        for id in &inner.order {
+            if let Some(policy) = inner.policies.get(id) {
+                if let Some(result) = visitor(policy) {
+                    return Some(result);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The Policy Decision Point.
+#[derive(Debug, Clone)]
+pub struct Pdp {
+    store: Arc<PolicyStore>,
+    combining: PolicyCombiningAlg,
+}
+
+impl Pdp {
+    /// A PDP over a shared policy store with first-applicable combining
+    /// (the behaviour of the paper's prototype, whose workload generates a
+    /// dedicated policy per request).
+    #[must_use]
+    pub fn new(store: Arc<PolicyStore>) -> Self {
+        Pdp { store, combining: PolicyCombiningAlg::FirstApplicable }
+    }
+
+    /// Override the policy combining algorithm.
+    #[must_use]
+    pub fn with_combining(mut self, combining: PolicyCombiningAlg) -> Self {
+        self.combining = combining;
+        self
+    }
+
+    /// The underlying store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<PolicyStore> {
+        &self.store
+    }
+
+    /// Evaluate a request against every loaded policy.
+    #[must_use]
+    pub fn evaluate(&self, request: &Request) -> DecisionResponse {
+        if request.validate().is_err() {
+            return DecisionResponse {
+                decision: Decision::Indeterminate,
+                obligations: Vec::new(),
+                policy_id: None,
+            };
+        }
+        let mut permit: Option<DecisionResponse> = None;
+        let mut deny: Option<DecisionResponse> = None;
+
+        let first = self.store.scan(|policy| match policy.evaluate(request) {
+            Some(effect @ Effect::Permit) => {
+                let response = Self::respond(policy, effect);
+                if self.combining == PolicyCombiningAlg::FirstApplicable {
+                    Some(response)
+                } else {
+                    if permit.is_none() {
+                        permit = Some(response);
+                    }
+                    None
+                }
+            }
+            Some(effect @ Effect::Deny) => {
+                let response = Self::respond(policy, effect);
+                if self.combining == PolicyCombiningAlg::FirstApplicable {
+                    Some(response)
+                } else {
+                    if deny.is_none() {
+                        deny = Some(response);
+                    }
+                    None
+                }
+            }
+            None => None,
+        });
+        if let Some(response) = first {
+            return response;
+        }
+
+        match self.combining {
+            PolicyCombiningAlg::FirstApplicable => DecisionResponse::not_applicable(),
+            PolicyCombiningAlg::PermitOverrides => permit
+                .or(deny)
+                .unwrap_or_else(DecisionResponse::not_applicable),
+            PolicyCombiningAlg::DenyOverrides => deny
+                .or(permit)
+                .unwrap_or_else(DecisionResponse::not_applicable),
+        }
+    }
+
+    fn respond(policy: &Policy, effect: Effect) -> DecisionResponse {
+        DecisionResponse {
+            decision: match effect {
+                Effect::Permit => Decision::Permit,
+                Effect::Deny => Decision::Deny,
+            },
+            obligations: policy.obligations_for(effect),
+            policy_id: Some(policy.id.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Rule, Target};
+
+    fn store_with(policies: Vec<Policy>) -> Arc<PolicyStore> {
+        let store = Arc::new(PolicyStore::new());
+        for p in policies {
+            store.add(p).unwrap();
+        }
+        store
+    }
+
+    fn permit_policy(id: &str, subject: &str, stream: &str) -> Policy {
+        Policy::new(id)
+            .with_target(Target::subject_resource_action(subject, stream, "subscribe"))
+            .with_rule(Rule::permit_all("permit"))
+            .with_obligation(Obligation::on_permit(format!("{id}-obligation")))
+    }
+
+    #[test]
+    fn store_add_get_remove_update() {
+        let store = PolicyStore::new();
+        store.add(permit_policy("p1", "LTA", "weather")).unwrap();
+        assert!(store.contains("p1"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.ids(), vec!["p1".to_string()]);
+        assert!(matches!(
+            store.add(permit_policy("p1", "LTA", "weather")),
+            Err(XacmlError::PolicyAlreadyExists(_))
+        ));
+
+        let mut updated = permit_policy("p1", "LTA", "gps");
+        updated.description = "now for gps".into();
+        store.update(updated).unwrap();
+        assert_eq!(store.get("p1").unwrap().description, "now for gps");
+        assert!(matches!(
+            store.update(permit_policy("p2", "x", "y")),
+            Err(XacmlError::UnknownPolicy(_))
+        ));
+
+        store.remove("p1").unwrap();
+        assert!(store.is_empty());
+        assert!(matches!(store.remove("p1"), Err(XacmlError::UnknownPolicy(_))));
+    }
+
+    #[test]
+    fn store_rejects_invalid_policy() {
+        let store = PolicyStore::new();
+        assert!(matches!(store.add(Policy::new("no-rules")), Err(XacmlError::InvalidPolicy { .. })));
+    }
+
+    #[test]
+    fn pdp_permits_matching_request_with_obligations() {
+        let store = store_with(vec![permit_policy("p1", "LTA", "weather")]);
+        let pdp = Pdp::new(store);
+        let response = pdp.evaluate(&Request::subscribe("LTA", "weather"));
+        assert!(response.is_permit());
+        assert_eq!(response.policy_id.as_deref(), Some("p1"));
+        assert_eq!(response.obligations.len(), 1);
+    }
+
+    #[test]
+    fn pdp_not_applicable_when_nothing_matches() {
+        let store = store_with(vec![permit_policy("p1", "LTA", "weather")]);
+        let pdp = Pdp::new(store);
+        let response = pdp.evaluate(&Request::subscribe("EMA", "weather"));
+        assert_eq!(response.decision, Decision::NotApplicable);
+        assert!(response.obligations.is_empty());
+        assert!(response.policy_id.is_none());
+    }
+
+    #[test]
+    fn pdp_first_applicable_uses_load_order() {
+        let deny = Policy::new("deny-all").with_rule(Rule::deny_all("d"));
+        let permit = Policy::new("permit-all").with_rule(Rule::permit_all("p"));
+        let pdp = Pdp::new(store_with(vec![deny.clone(), permit.clone()]));
+        assert_eq!(pdp.evaluate(&Request::new()).decision, Decision::Deny);
+        let pdp = Pdp::new(store_with(vec![permit, deny]));
+        assert_eq!(pdp.evaluate(&Request::new()).decision, Decision::Permit);
+    }
+
+    #[test]
+    fn pdp_permit_and_deny_overrides() {
+        let deny = Policy::new("deny-all").with_rule(Rule::deny_all("d"));
+        let permit = Policy::new("permit-all").with_rule(Rule::permit_all("p"));
+        let store = store_with(vec![deny, permit]);
+        let pdp = Pdp::new(Arc::clone(&store)).with_combining(PolicyCombiningAlg::PermitOverrides);
+        assert_eq!(pdp.evaluate(&Request::new()).decision, Decision::Permit);
+        let pdp = Pdp::new(store).with_combining(PolicyCombiningAlg::DenyOverrides);
+        assert_eq!(pdp.evaluate(&Request::new()).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn pdp_indeterminate_on_malformed_request() {
+        let pdp = Pdp::new(store_with(vec![permit_policy("p", "a", "b")]));
+        let bad = Request::new().with_subject("", crate::attribute::AttributeValue::string("x"));
+        assert_eq!(pdp.evaluate(&bad).decision, Decision::Indeterminate);
+    }
+
+    #[test]
+    fn pdp_scales_over_many_policies() {
+        // Mirrors the evaluation set-up: hundreds of unique policies, one
+        // matching the request.
+        let mut policies = Vec::new();
+        for i in 0..500 {
+            policies.push(permit_policy(&format!("p{i}"), &format!("user{i}"), &format!("stream{i}")));
+        }
+        let pdp = Pdp::new(store_with(policies));
+        let response = pdp.evaluate(&Request::subscribe("user250", "stream250"));
+        assert!(response.is_permit());
+        assert_eq!(response.policy_id.as_deref(), Some("p250"));
+    }
+}

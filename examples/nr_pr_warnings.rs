@@ -1,0 +1,79 @@
+//! Empty-result (NR) and partial-result (PR) detection — Examples 3 and 4 of
+//! the paper (Section 3.5).
+//!
+//! When a user's customised query conflicts with the policy enforced on the
+//! stream, eXACML+ tells the user up front instead of silently serving an
+//! empty or truncated stream.
+//!
+//! Run with `cargo run --example nr_pr_warnings`.
+
+use exacml_dsms::Schema;
+use exacml_expr::{analyze_merge, parse_expr};
+use exacml_plus::{DataServer, ExacmlError, ServerConfig, StreamPolicyBuilder, UserQuery};
+use exacml_xacml::Request;
+
+fn main() {
+    // --- Example 3, predicate-level ------------------------------------------
+    // Policy F1: a > 8; user F2: a > 5 → some tuples the user wants (5 < a ≤ 8)
+    // are withheld → PR.
+    let pr = analyze_merge(&parse_expr("a > 8").unwrap(), &parse_expr("a > 5").unwrap());
+    println!("policy a > 8  vs  query a > 5   → {}", pr.verdict);
+
+    // Policy F1: a < 4; user F2: a > 5 → nothing can ever satisfy both → NR.
+    let nr = analyze_merge(&parse_expr("a < 4").unwrap(), &parse_expr("a > 5").unwrap());
+    println!("policy a < 4  vs  query a > 5   → {}", nr.verdict);
+
+    // --- Example 4, the full DNF procedure -----------------------------------
+    let c1 = parse_expr("(a > 20 AND a < 30) OR NOT (a != 40)").unwrap();
+    let c2 = parse_expr("NOT (a >= 10) AND b = 20").unwrap();
+    let report = analyze_merge(&c1, &c2);
+    println!(
+        "Example 4: verdict {} over {} DNF clauses ({} pairwise checks, max clause width {})",
+        report.verdict, report.clause_count, report.pair_checks, report.max_clause_width
+    );
+
+    // --- the same conflicts surfaced through the framework -------------------
+    let server = DataServer::new(ServerConfig::local());
+    server.register_stream("weather", Schema::weather_example()).unwrap();
+    server
+        .load_policy(
+            StreamPolicyBuilder::new("weather-lta", "weather")
+                .subject("LTA")
+                .filter("rainrate > 8")
+                .visible_attributes(["samplingtime", "rainrate"])
+                .build(),
+        )
+        .unwrap();
+
+    // A query that contradicts the policy filter → the request is answered
+    // with an NR warning and nothing is deployed.
+    let contradicting = UserQuery::for_stream("weather")
+        .with_filter("rainrate < 4")
+        .with_map(["samplingtime", "rainrate"]);
+    match server.handle_request(&Request::subscribe("LTA", "weather"), Some(&contradicting)) {
+        Err(ExacmlError::ConflictDetected { warnings }) => {
+            println!("\ncontradictory query rejected with {} warning(s):", warnings.len());
+            for w in warnings {
+                println!("  {w}");
+            }
+        }
+        other => panic!("expected a conflict, got {other:?}"),
+    }
+
+    // A query that merely narrows the stream → PR warning; with the default
+    // configuration the deployment is also withheld, so the user can decide
+    // whether a partial stream is acceptable.
+    let narrowing = UserQuery::for_stream("weather")
+        .with_filter("rainrate > 5")
+        .with_map(["samplingtime", "rainrate"]);
+    match server.handle_request(&Request::subscribe("LTA", "weather"), Some(&narrowing)) {
+        Err(ExacmlError::ConflictDetected { warnings }) => {
+            println!("\nnarrowing query flagged with {} warning(s):", warnings.len());
+            for w in warnings {
+                println!("  {w}");
+            }
+        }
+        other => panic!("expected a PR conflict, got {other:?}"),
+    }
+    println!("\nno query graph was deployed for either conflicting request: {} live deployments", server.live_deployments());
+}

@@ -1,0 +1,114 @@
+//! Quickstart: the paper's running example (Example 1 + Section 3.1).
+//!
+//! The National Environmental Agency (NEA) publishes a real-time weather
+//! stream on the cloud. The Land Transport Authority (LTA) is building a
+//! heavy-rain traffic warning system and is allowed to see only three
+//! attributes, in sliding windows of 5 tuples advancing by 2, and only while
+//! `rainrate > 5`. The LTA later refines its needs with a customised query
+//! (`rainrate > 50`, windows of 10).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use exacml_dsms::{streamsql, AggFunc, AggSpec, Schema, WindowSpec};
+use exacml_plus::{
+    ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
+};
+use exacml_workload::WeatherFeed;
+use std::sync::Arc;
+
+fn main() {
+    // ----------------------------------------------------------------- setup
+    // The cloud data server hosts the PDP/PEP and the Aurora-model DSMS.
+    let server = Arc::new(DataServer::new(ServerConfig {
+        // The LTA's refinement narrows the visible attributes, which raises a
+        // partial-result warning by design; allow deployment anyway so the
+        // warning is informational (Section 3.5).
+        deploy_on_partial_result: true,
+        ..ServerConfig::local()
+    }));
+    server
+        .register_stream("weather", Schema::weather_example())
+        .expect("register the NEA weather stream");
+
+    // ------------------------------------------------- the NEA writes a policy
+    let policy = StreamPolicyBuilder::new("nea-weather-for-lta", "weather")
+        .subject("LTA")
+        .description("Real-time weather for the LTA heavy-rain warning system")
+        .filter("rainrate > 5")
+        .visible_attributes(["samplingtime", "rainrate", "windspeed"])
+        .window(
+            WindowSpec::tuples(5, 2),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("rainrate", AggFunc::Avg),
+                AggSpec::new("windspeed", AggFunc::Max),
+            ],
+        )
+        .build();
+
+    println!("=== Figure 2: the policy's obligations block (XACML XML) ===");
+    println!("{}", exacml_xacml::xml::write_policy(&policy));
+
+    println!("=== Figure 1: the query graph derived from the obligations ===");
+    let policy_graph =
+        exacml_plus::graph_from_obligations("weather", &policy.obligations).expect("valid obligations");
+    println!("{policy_graph}\n");
+
+    server.load_policy(policy).expect("load the policy onto the data server");
+
+    // ------------------------------------------------ the LTA refines its query
+    let user_query = UserQuery::for_stream("weather")
+        .with_filter("rainrate > 50")
+        .with_map(["samplingtime", "rainrate"])
+        .with_aggregation(
+            WindowSpec::tuples(10, 2),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("rainrate", AggFunc::Avg),
+            ],
+        );
+    println!("=== Figure 4(a): the LTA's customised query (XML) ===");
+    println!("{}", user_query.to_xml());
+
+    // --------------------------------------------------------- request access
+    let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
+    let response = client
+        .request_access("LTA", "weather", Some(&user_query))
+        .expect("the policy permits the LTA");
+
+    println!("=== Figure 4(b): the merged StreamSQL sent to the DSMS ===");
+    println!("{}", response.streamsql);
+    println!("stream handle returned to the LTA: {}", response.handle);
+    for warning in &response.warnings {
+        println!("warning: {warning}");
+    }
+    println!(
+        "timing: total {:?} (PDP {:?}, query-graph {:?}, DSMS {:?}, network {:?})\n",
+        response.timing.total,
+        response.timing.pdp,
+        response.timing.query_graph,
+        response.timing.dsms,
+        response.timing.network
+    );
+
+    // ------------------------------------------------------------ stream data
+    let receiver = server.subscribe(&response.handle).expect("subscribe to the derived stream");
+    let mut feed = WeatherFeed::paper_default(7);
+    for tuple in feed.take(600) {
+        server.push("weather", tuple).expect("push weather record");
+    }
+    let derived: Vec<_> = receiver.try_iter().collect();
+    println!("=== derived tuples the LTA receives (first 5 of {}) ===", derived.len());
+    for tuple in derived.iter().take(5) {
+        println!("  {tuple}");
+    }
+
+    // A request by anyone else is denied.
+    let denied = client.request_access("EMA", "weather", None);
+    println!("\nEMA requesting the same stream: {}", denied.expect_err("denied"));
+
+    // And the direct-query baseline (no access control) for comparison.
+    let script = streamsql::generate(&policy_graph, &Schema::weather_example());
+    let (_, timing) = client.direct_query(&script).expect("direct query");
+    println!("direct-query baseline deploy time: {:?}", timing.total);
+}

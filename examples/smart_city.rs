@@ -1,0 +1,134 @@
+//! Smart-city mash-up: several agencies share streams under different
+//! policies (the "flu outbreak / intelligent city" motivation of the paper's
+//! introduction), and a data owner revokes a policy, which immediately
+//! withdraws the consumer's live query (Section 3.3).
+//!
+//! Run with `cargo run --example smart_city`.
+
+use exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
+use exacml_plus::{ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery};
+use exacml_workload::{GpsFeed, WeatherFeed};
+use std::sync::Arc;
+
+fn main() {
+    let server = Arc::new(DataServer::new(ServerConfig {
+        deploy_on_partial_result: true,
+        ..ServerConfig::local()
+    }));
+    // Two city-scale streams: NEA weather stations and anonymised transit GPS.
+    server.register_stream("weather", Schema::weather_example()).expect("weather stream");
+    server.register_stream("gps", Schema::gps_example()).expect("gps stream");
+
+    // --- policies of three data consumers ----------------------------------
+    // 1. The health agency tracks outbreak-relevant conditions: hourly-ish
+    //    humidity/temperature aggregates only.
+    let health = StreamPolicyBuilder::new("weather-for-health", "weather")
+        .subject("HealthAgency")
+        .description("coarse aggregates for epidemiological modelling")
+        .visible_attributes(["samplingtime", "temperature", "humidity"])
+        .window(
+            WindowSpec::tuples(120, 60),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("temperature", AggFunc::Avg),
+                AggSpec::new("humidity", AggFunc::Avg),
+            ],
+        )
+        .build();
+    // 2. The transport authority sees congestion-relevant rain bursts.
+    let transport = StreamPolicyBuilder::new("weather-for-transport", "weather")
+        .subject("TransportAuthority")
+        .filter("rainrate > 5")
+        .visible_attributes(["samplingtime", "rainrate", "windspeed"])
+        .window(
+            WindowSpec::tuples(5, 2),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("rainrate", AggFunc::Avg),
+                AggSpec::new("windspeed", AggFunc::Max),
+            ],
+        )
+        .build();
+    // 3. A research lab sees only slow-moving GPS fixes (privacy: no exact
+    //    speeds above a threshold, coarse windows).
+    let research = StreamPolicyBuilder::new("gps-for-research", "gps")
+        .subject("UrbanLab")
+        .filter("speed < 60")
+        .visible_attributes(["samplingtime", "latitude", "longitude", "speed"])
+        .window(
+            WindowSpec::tuples(20, 10),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("latitude", AggFunc::Avg),
+                AggSpec::new("longitude", AggFunc::Avg),
+                AggSpec::new("speed", AggFunc::Avg),
+            ],
+        )
+        .build();
+
+    for policy in [health, transport, research] {
+        let elapsed = server.load_policy(policy).expect("policy loads");
+        println!("loaded policy in {elapsed:?}");
+    }
+
+    let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
+
+    // --- each agency requests its view --------------------------------------
+    let health_view = client
+        .request_access("HealthAgency", "weather", None)
+        .expect("health agency is permitted");
+    let transport_query = UserQuery::for_stream("weather")
+        .with_filter("rainrate > 30")
+        .with_map(["samplingtime", "rainrate"])
+        .with_aggregation(
+            WindowSpec::tuples(10, 2),
+            vec![
+                AggSpec::new("samplingtime", AggFunc::LastValue),
+                AggSpec::new("rainrate", AggFunc::Avg),
+            ],
+        );
+    let transport_view = client
+        .request_access("TransportAuthority", "weather", Some(&transport_query))
+        .expect("transport authority is permitted");
+    let research_view =
+        client.request_access("UrbanLab", "gps", None).expect("research lab is permitted");
+
+    println!("\nhealth view handle:    {}", health_view.handle);
+    println!("transport view handle: {} ({} warnings)", transport_view.handle, transport_view.warnings.len());
+    println!("research view handle:  {}", research_view.handle);
+
+    // Cross-checks: agencies cannot read each other's streams.
+    assert!(client.request_access("HealthAgency", "gps", None).is_err());
+    assert!(client.request_access("UrbanLab", "weather", None).is_err());
+    println!("cross-agency requests correctly denied");
+
+    // --- feed both streams ---------------------------------------------------
+    let health_rx = server.subscribe(&health_view.handle).unwrap();
+    let transport_rx = server.subscribe(&transport_view.handle).unwrap();
+    let research_rx = server.subscribe(&research_view.handle).unwrap();
+
+    let mut weather = WeatherFeed::paper_default(11);
+    for tuple in weather.take(600) {
+        server.push("weather", tuple).unwrap();
+    }
+    let mut gps = GpsFeed::new(13, "bus-1042", 1_000);
+    for tuple in gps.take(200) {
+        server.push("gps", tuple).unwrap();
+    }
+
+    println!("\nhealth agency received    {} aggregate tuples", health_rx.try_iter().count());
+    println!("transport agency received {} aggregate tuples", transport_rx.try_iter().count());
+    println!("research lab received     {} aggregate tuples", research_rx.try_iter().count());
+
+    // --- the owner revokes the transport policy ------------------------------
+    let withdrawn = server.remove_policy("weather-for-transport").expect("policy exists");
+    println!("\nNEA removed the transport policy: {withdrawn} live query graph(s) withdrawn");
+    assert!(!server.handle_is_live(&transport_view.handle));
+    assert!(client.request_access("TransportAuthority", "weather", None).is_err());
+    println!("transport authority's handle is dead and new requests are denied");
+
+    // The other agencies are unaffected.
+    assert!(server.handle_is_live(&health_view.handle));
+    assert!(server.handle_is_live(&research_view.handle));
+    println!("other agencies keep their live views");
+}

@@ -1,0 +1,1 @@
+pub use exacml_plus; pub use exacml_dsms; pub use exacml_xacml; pub use exacml_expr; pub use exacml_simnet; pub use exacml_workload;

@@ -1,0 +1,259 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * NOT-elimination, DNF conversion and simplification preserve the truth
+//!   table of arbitrary filter conditions;
+//! * `checkTwoSimpleExpression` verdicts agree with a brute-force model of
+//!   the number line;
+//! * obligations ⇄ query-graph translation is lossless for arbitrary graphs;
+//! * sliding-window buffering emits exactly the windows the specification
+//!   prescribes;
+//! * the Section 3.4 reconstruction always succeeds against unconstrained
+//!   multi-window access (which is why the guard exists).
+
+use exacml_dsms::{AggFunc, AggSpec, QueryGraph, QueryGraphBuilder, WindowSpec};
+use exacml_expr::{
+    check_two_simple, eval::eval, normalize::eliminate_not, normalize::is_not_free, parse_expr,
+    simplify, CmpOp, Dnf, Expr, MapBindings, SimpleExpr, Verdict,
+};
+use exacml_plus::attack::reconstruct_from_sums;
+use exacml_plus::{graph_from_obligations, obligations_from_graph};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Expression generators
+// ---------------------------------------------------------------------------
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_simple() -> impl Strategy<Value = Expr> {
+    (prop_oneof![Just("a"), Just("b"), Just("c")], arb_cmp_op(), -5i32..15)
+        .prop_map(|(attr, op, v)| Expr::Simple(SimpleExpr::new(attr, op, f64::from(v))))
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_simple().prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn grid_bindings() -> Vec<MapBindings> {
+    let mut grid = Vec::new();
+    for a in (-6..16).step_by(3) {
+        for b in (-6..16).step_by(4) {
+            for c in [-1i32, 7] {
+                grid.push(
+                    MapBindings::new()
+                        .with_number("a", f64::from(a))
+                        .with_number("b", f64::from(b))
+                        .with_number("c", f64::from(c)),
+                );
+            }
+        }
+    }
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn not_elimination_preserves_truth_table(expr in arb_expr()) {
+        let rewritten = eliminate_not(&expr);
+        prop_assert!(is_not_free(&rewritten));
+        for bindings in grid_bindings() {
+            prop_assert_eq!(eval(&expr, &bindings), eval(&rewritten, &bindings));
+        }
+    }
+
+    #[test]
+    fn dnf_preserves_truth_table(expr in arb_expr()) {
+        let dnf = Dnf::from_expr(&expr);
+        let roundtrip = dnf.to_expr();
+        for bindings in grid_bindings() {
+            prop_assert_eq!(eval(&expr, &bindings), eval(&roundtrip, &bindings));
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_truth_table_and_never_grows(expr in arb_expr()) {
+        let simplified = simplify(&expr);
+        for bindings in grid_bindings() {
+            prop_assert_eq!(eval(&expr, &bindings), eval(&simplified, &bindings));
+        }
+        // Simplification must not exceed the size of the plain DNF rendering.
+        prop_assert!(simplified.leaf_count() <= Dnf::from_expr(&expr).to_expr().leaf_count());
+    }
+
+    #[test]
+    fn display_parse_round_trip(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        for bindings in grid_bindings() {
+            prop_assert_eq!(eval(&expr, &bindings), eval(&reparsed, &bindings));
+        }
+    }
+
+    #[test]
+    fn pairwise_check_agrees_with_brute_force(
+        op1 in arb_cmp_op(), v1 in -10i32..20, op2 in arb_cmp_op(), v2 in -10i32..20
+    ) {
+        let policy = SimpleExpr::new("x", op1, f64::from(v1));
+        let user = SimpleExpr::new("x", op2, f64::from(v2));
+        let verdict = check_two_simple(&policy, &user);
+        // Sample the number line densely, including half-points around every
+        // threshold, so subset/emptiness decisions are witnessed.
+        let sample: Vec<f64> = (-25..=45).map(|i| f64::from(i) * 0.5).collect();
+        let in_policy = |x: f64| op1.apply_ord(x.partial_cmp(&f64::from(v1)).unwrap());
+        let in_user = |x: f64| op2.apply_ord(x.partial_cmp(&f64::from(v2)).unwrap());
+        let both: Vec<f64> = sample.iter().copied().filter(|x| in_policy(*x) && in_user(*x)).collect();
+        let user_only: Vec<f64> = sample.iter().copied().filter(|x| in_user(*x)).collect();
+        match verdict {
+            Verdict::Nr => prop_assert!(both.is_empty()),
+            Verdict::Compatible => prop_assert_eq!(both.len(), user_only.len()),
+            Verdict::Pr => {
+                // The policy removes at least one sampled user value, or the
+                // satisfiable region lies between sample points (never the
+                // case on the 0.5 grid with integer thresholds).
+                prop_assert!(both.len() < user_only.len() || user_only.is_empty());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query graphs and obligations
+// ---------------------------------------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = QueryGraph> {
+    let attrs = ["samplingtime", "rainrate", "windspeed", "temperature", "humidity"];
+    let arb_filter = (0usize..4, 0.0f64..100.0).prop_map(move |(i, v)| {
+        format!("{} > {v:.1}", attrs[i + 1])
+    });
+    let arb_map = proptest::collection::vec(1usize..5, 1..4);
+    let arb_agg = (4u64..20, 1u64..4, 0usize..4, prop_oneof![
+        Just(AggFunc::Avg), Just(AggFunc::Max), Just(AggFunc::Min), Just(AggFunc::Sum), Just(AggFunc::Count)
+    ]);
+    (proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY, arb_filter, arb_map, arb_agg)
+        .prop_map(move |(with_f, with_m, with_a, filter, map_idx, (size, adv, agg_idx, func))| {
+            let mut builder = QueryGraphBuilder::on_stream("weather");
+            if with_f {
+                builder = builder.filter_str(&filter).unwrap();
+            }
+            if with_m {
+                let mut names: Vec<&str> = vec!["samplingtime"];
+                for i in &map_idx {
+                    names.push(attrs[*i]);
+                }
+                builder = builder.map(names);
+            }
+            if with_a {
+                builder = builder.aggregate(
+                    WindowSpec::tuples(size, adv.min(size)),
+                    vec![
+                        AggSpec::new("samplingtime", AggFunc::LastValue),
+                        AggSpec::new(attrs[agg_idx + 1], func),
+                    ],
+                );
+            }
+            builder.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn obligations_round_trip_for_arbitrary_graphs(graph in arb_graph()) {
+        let obligations = obligations_from_graph(&graph);
+        prop_assert_eq!(obligations.len(), graph.len());
+        let rebuilt = graph_from_obligations("weather", &obligations).unwrap();
+        prop_assert_eq!(rebuilt, graph);
+    }
+
+    #[test]
+    fn window_coarsening_is_reflexive_and_antitone(
+        size in 1u64..30, advance in 1u64..30, extra_size in 0u64..10, extra_adv in 0u64..10
+    ) {
+        let advance = advance.min(size);
+        let policy = WindowSpec::tuples(size, advance);
+        prop_assert!(policy.is_coarsening_of(&policy));
+        let coarser = WindowSpec::tuples(size + extra_size, advance + extra_adv);
+        prop_assert!(coarser.is_coarsening_of(&policy));
+        if extra_size > 0 {
+            prop_assert!(!policy.is_coarsening_of(&WindowSpec::tuples(size + extra_size, advance)));
+        }
+    }
+
+    #[test]
+    fn tuple_windows_emit_the_expected_count(
+        size in 1u64..12, advance in 1u64..12, n in 0usize..80
+    ) {
+        use exacml_dsms::{Schema, Tuple, Value, DataType};
+        use exacml_dsms::window::SlidingBuffer;
+        let advance = advance.min(size);
+        let schema = Schema::from_pairs([("samplingtime", DataType::Timestamp), ("v", DataType::Double)]);
+        let mut buffer = SlidingBuffer::new(WindowSpec::tuples(size, advance));
+        let mut emitted = 0usize;
+        for i in 0..n {
+            let t = Tuple::builder(&schema)
+                .set("samplingtime", Value::Timestamp(i as i64))
+                .set("v", i as f64)
+                .finish()
+                .unwrap();
+            let windows = buffer.push(t);
+            for w in &windows {
+                prop_assert_eq!(w.len(), size as usize);
+            }
+            emitted += windows.len();
+        }
+        let expected = if n >= size as usize {
+            1 + (n - size as usize) / advance as usize
+        } else {
+            0
+        };
+        prop_assert_eq!(emitted, expected);
+    }
+
+    #[test]
+    fn reconstruction_recovers_the_suffix(
+        values in proptest::collection::vec(-50.0f64..50.0, 12..40),
+        base in 2u64..5,
+        step in 1u64..4,
+    ) {
+        let step = step.min(base);
+        let outcome = exacml_plus::attack::simulate_attack(&values, base, step);
+        for (k, reconstructed) in outcome.reconstructed.iter().enumerate() {
+            let original = values[base as usize + k];
+            prop_assert!((reconstructed - original).abs() < 1e-6,
+                "position {}: {} vs {}", k, reconstructed, original);
+        }
+    }
+
+    #[test]
+    fn reconstruct_from_sums_handles_arbitrary_lengths(
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 0..8), 0..5),
+        step in 0usize..4,
+    ) {
+        // Never panics, and the output length is bounded by the number of
+        // usable difference streams (at most `step`) times the shortest row
+        // actually consumed (only the first `step + 1` rows participate).
+        let out = reconstruct_from_sums(&rows, 3, step);
+        let usable = rows.len().min(step + 1);
+        let min_used = rows.iter().take(usable).map(Vec::len).min().unwrap_or(0);
+        prop_assert!(out.len() <= min_used.saturating_mul(step.max(1)));
+    }
+}
