@@ -34,7 +34,10 @@ fn graphs() -> Vec<(&'static str, QueryGraph)> {
             QueryGraphBuilder::on_stream("weather")
                 .aggregate(
                     WindowSpec::tuples(5, 2),
-                    vec![AggSpec::new("rainrate", AggFunc::Avg), AggSpec::new("windspeed", AggFunc::Max)],
+                    vec![
+                        AggSpec::new("rainrate", AggFunc::Avg),
+                        AggSpec::new("windspeed", AggFunc::Max),
+                    ],
                 )
                 .build(),
         ),
@@ -55,7 +58,10 @@ fn bench_dsms(c: &mut Criterion) {
     let (schema, tuples) = weather_tuples(BATCH);
 
     let mut group = c.benchmark_group("dsms_push");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(20);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
     group.throughput(Throughput::Elements(BATCH as u64));
     for (name, graph) in graphs() {
         group.bench_function(name, |b| {
@@ -79,7 +85,10 @@ fn bench_dsms(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("dsms_deploy");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(20);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
     let full = graphs().pop().unwrap().1;
     group.bench_function("deploy_withdraw", |b| {
         let mut engine = StreamEngine::new();

@@ -28,7 +28,10 @@ fn server_with_policies(n: usize) -> Arc<DataServer> {
 
 fn bench_framework(c: &mut Criterion) {
     let mut group = c.benchmark_group("framework_request");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(20);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
 
     for policies in [50usize, 1000] {
         let server = server_with_policies(policies);

@@ -41,7 +41,10 @@ fn bench_merge(c: &mut Criterion) {
     let schema = Schema::weather_example();
 
     let mut group = c.benchmark_group("query_graph");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     group.bench_function("obligations_to_graph", |b| {
         b.iter(|| graph_from_obligations("weather", &obligations).unwrap());
     });

@@ -7,22 +7,19 @@ use exacml_expr::{analyze_merge, parse_expr};
 use std::time::Duration;
 
 fn conjunctive_condition(terms: usize, offset: usize) -> String {
-    (0..terms)
-        .map(|i| format!("a{i} > {}", i + offset))
-        .collect::<Vec<_>>()
-        .join(" AND ")
+    (0..terms).map(|i| format!("a{i} > {}", i + offset)).collect::<Vec<_>>().join(" AND ")
 }
 
 fn disjunctive_condition(clauses: usize) -> String {
-    (0..clauses)
-        .map(|i| format!("(a > {i} AND b < {})", 100 - i))
-        .collect::<Vec<_>>()
-        .join(" OR ")
+    (0..clauses).map(|i| format!("(a > {i} AND b < {})", 100 - i)).collect::<Vec<_>>().join(" OR ")
 }
 
 fn bench_nrpr(c: &mut Criterion) {
     let mut group = c.benchmark_group("nrpr_conjunct_width");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     for n in [2usize, 4, 8, 16, 32] {
         let policy = parse_expr(&conjunctive_condition(n, 0)).unwrap();
         let user = parse_expr(&conjunctive_condition(n, 1)).unwrap();
@@ -33,7 +30,10 @@ fn bench_nrpr(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("nrpr_clause_count");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     for k in [1usize, 2, 4, 8] {
         let policy = parse_expr(&disjunctive_condition(k)).unwrap();
         let user = parse_expr("a > 50 AND b < 20").unwrap();
@@ -44,7 +44,10 @@ fn bench_nrpr(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("expr_pipeline");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     let source = "((a > 20 AND a < 30) OR NOT (a != 40)) AND (NOT (a >= 10) AND b = 20)";
     group.bench_function("parse", |b| b.iter(|| parse_expr(source).unwrap()));
     let parsed = parse_expr(source).unwrap();

@@ -23,7 +23,10 @@ fn store_with(n: usize) -> Arc<PolicyStore> {
 
 fn bench_pdp(c: &mut Criterion) {
     let mut group = c.benchmark_group("pdp_evaluate");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     for n in [10usize, 50, 100, 500, 1000] {
         let pdp = Pdp::new(store_with(n));
         // The matching policy sits in the middle of the store.
@@ -38,7 +41,10 @@ fn bench_pdp(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("policy_xml");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     let policy = StreamPolicyBuilder::new("p", "weather")
         .subject("LTA")
         .filter("rainrate > 5 AND windspeed < 30")

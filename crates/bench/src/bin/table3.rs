@@ -27,6 +27,10 @@ fn main() {
     }
     let unique = generator.unique_sequence(queries.len());
     let zipf = generator.zipf_sequence(queries.len());
-    println!("\nunique sequence: {} requests over {} distinct queries", unique.len(), unique.distinct());
+    println!(
+        "\nunique sequence: {} requests over {} distinct queries",
+        unique.len(),
+        unique.distinct()
+    );
     println!("zipf sequence:   {} requests over {} distinct queries", zipf.len(), zipf.distinct());
 }

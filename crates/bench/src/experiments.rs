@@ -107,10 +107,7 @@ pub fn fig6a(spec: &WorkloadSpec, cdf_points: usize) -> Fig6Result {
 
     Fig6Result {
         sequence: "unique".into(),
-        summary: vec![
-            summary_row("directQuery", &direct),
-            summary_row("eXACML+", &exacml),
-        ],
+        summary: vec![summary_row("directQuery", &direct), summary_row("eXACML+", &exacml)],
         series: vec![
             ("directQuery".into(), direct.cdf(cdf_points)),
             ("eXACML+".into(), exacml.cdf(cdf_points)),

@@ -16,10 +16,7 @@ pub fn cdf_table(series: &[(String, Vec<(f64, f64)>)]) -> String {
     out.push('\n');
     let rows = series.iter().map(|(_, pts)| pts.len()).max().unwrap_or(0);
     for i in 0..rows {
-        let fraction = series
-            .first()
-            .and_then(|(_, pts)| pts.get(i))
-            .map_or(0.0, |(_, f)| *f);
+        let fraction = series.first().and_then(|(_, pts)| pts.get(i)).map_or(0.0, |(_, f)| *f);
         out.push_str(&format!("{fraction:>6.2}"));
         for (_, pts) in series {
             match pts.get(i) {

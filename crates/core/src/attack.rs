@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn reconstruction_rate_is_high_even_for_random_like_data() {
-        let values: Vec<f64> =
-            (0..50).map(|i| f64::from((i * 7919 + 13) % 101) / 3.0).collect();
+        let values: Vec<f64> = (0..50).map(|i| f64::from((i * 7919 + 13) % 101) / 3.0).collect();
         let outcome = simulate_attack(&values, 5, 2);
         assert!(outcome.recovery_rate() > 0.8, "rate = {}", outcome.recovery_rate());
     }

@@ -138,10 +138,8 @@ mod tests {
     #[test]
     fn direct_query_baseline_works_without_policies() {
         let client = client_setup();
-        let graph = QueryGraphBuilder::on_stream("weather")
-            .filter_str("windspeed > 20")
-            .unwrap()
-            .build();
+        let graph =
+            QueryGraphBuilder::on_stream("weather").filter_str("windspeed > 20").unwrap().build();
         let script = streamsql::generate(&graph, &Schema::weather_example());
         let (handle, timing) = client.direct_query(&script).unwrap();
         assert!(client.proxy().server().handle_is_live(&handle));

@@ -62,7 +62,9 @@ pub mod prelude {
     pub use crate::error::ExacmlError;
     pub use crate::merge::{merge_graphs, MergeOptions, MergeOutcome};
     pub use crate::metrics::{RequestTiming, TimingBreakdown};
-    pub use crate::obligations::{graph_from_obligations, obligations_from_graph, StreamPolicyBuilder};
+    pub use crate::obligations::{
+        graph_from_obligations, obligations_from_graph, StreamPolicyBuilder,
+    };
     pub use crate::proxy::{Proxy, ProxyStats};
     pub use crate::server::{AccessResponse, DataServer, ServerConfig};
     pub use crate::user_query::{UserAggregation, UserQuery};

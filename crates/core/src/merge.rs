@@ -257,7 +257,8 @@ mod tests {
 
     #[test]
     fn merges_the_paper_running_example() {
-        let outcome = merge_graphs(&policy_graph(), &user_graph(), MergeOptions::default()).unwrap();
+        let outcome =
+            merge_graphs(&policy_graph(), &user_graph(), MergeOptions::default()).unwrap();
         let g = &outcome.graph;
         assert_eq!(g.composition(), "FB+MB+AB");
         // Filter simplifies to the stricter bound.
@@ -362,7 +363,9 @@ mod tests {
         let policy = QueryGraphBuilder::on_stream("s")
             .aggregate(WindowSpec::tuples(5, 2), vec![AggSpec::new("a", AggFunc::Sum)])
             .build();
-        for user_window in [WindowSpec::tuples(3, 2), WindowSpec::tuples(5, 1), WindowSpec::time(10, 2)] {
+        for user_window in
+            [WindowSpec::tuples(3, 2), WindowSpec::tuples(5, 1), WindowSpec::time(10, 2)]
+        {
             let user = QueryGraphBuilder::on_stream("s")
                 .aggregate(user_window, vec![AggSpec::new("a", AggFunc::Sum)])
                 .build();

@@ -202,9 +202,8 @@ impl TimingBreakdown {
         }
         let mut sorted = self.totals.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let idx = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
-            .clamp(1, sorted.len())
-            - 1;
+        let idx =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
         sorted[idx]
     }
 }

@@ -18,11 +18,11 @@
 //! policies.
 
 use crate::error::ExacmlError;
+#[cfg(test)]
+use exacml_dsms::AggFunc;
 use exacml_dsms::{
     AggSpec, AggregateOp, FilterOp, MapOp, Operator, QueryGraph, WindowKind, WindowSpec,
 };
-#[cfg(test)]
-use exacml_dsms::AggFunc;
 use exacml_xacml::{Obligation, Policy, Rule, Target};
 
 /// Obligation and attribute-assignment identifiers (Table 1 / Figure 2).
@@ -123,21 +123,20 @@ pub fn graph_from_obligations(
 
     for ob in obligations {
         if is_filter_obligation(&ob.id) {
-            let condition = ob.first_text(ids::FILTER_CONDITION).ok_or_else(|| {
-                ExacmlError::BadObligation {
+            let condition =
+                ob.first_text(ids::FILTER_CONDITION).ok_or_else(|| ExacmlError::BadObligation {
                     obligation_id: ob.id.clone(),
                     detail: "missing stream-filter-condition-id assignment".into(),
-                }
-            })?;
+                })?;
             let op = FilterOp::parse(condition).map_err(|e| ExacmlError::BadObligation {
                 obligation_id: ob.id.clone(),
                 detail: e.to_string(),
             })?;
             filter = Some(match filter {
                 // Multiple filter obligations conjoin.
-                Some(existing) => FilterOp::new(
-                    existing.condition().clone().and(op.condition().clone()),
-                ),
+                Some(existing) => {
+                    FilterOp::new(existing.condition().clone().and(op.condition().clone()))
+                }
                 None => op,
             });
         } else if is_map_obligation(&ob.id) {
@@ -151,14 +150,16 @@ pub fn graph_from_obligations(
             }
             map = Some(MapOp::new(attrs));
         } else if is_window_obligation(&ob.id) {
-            let size = ob.first_integer(ids::WINDOW_SIZE).ok_or_else(|| ExacmlError::BadObligation {
-                obligation_id: ob.id.clone(),
-                detail: "missing or non-integer stream-window-size-id".into(),
-            })?;
-            let step = ob.first_integer(ids::WINDOW_STEP).ok_or_else(|| ExacmlError::BadObligation {
-                obligation_id: ob.id.clone(),
-                detail: "missing or non-integer stream-window-step-id".into(),
-            })?;
+            let size =
+                ob.first_integer(ids::WINDOW_SIZE).ok_or_else(|| ExacmlError::BadObligation {
+                    obligation_id: ob.id.clone(),
+                    detail: "missing or non-integer stream-window-size-id".into(),
+                })?;
+            let step =
+                ob.first_integer(ids::WINDOW_STEP).ok_or_else(|| ExacmlError::BadObligation {
+                    obligation_id: ob.id.clone(),
+                    detail: "missing or non-integer stream-window-step-id".into(),
+                })?;
             let kind = ob
                 .first_text(ids::WINDOW_TYPE)
                 .and_then(WindowKind::from_keyword)
@@ -333,8 +334,16 @@ impl StreamPolicyBuilder {
                 use exacml_xacml::request::ids as req_ids;
                 use exacml_xacml::{AttributeCategory, AttributeMatch};
                 Target::new(vec![
-                    AttributeMatch::new(AttributeCategory::Resource, req_ids::RESOURCE_ID, &self.stream),
-                    AttributeMatch::new(AttributeCategory::Action, req_ids::ACTION_ID, &self.action),
+                    AttributeMatch::new(
+                        AttributeCategory::Resource,
+                        req_ids::RESOURCE_ID,
+                        &self.stream,
+                    ),
+                    AttributeMatch::new(
+                        AttributeCategory::Action,
+                        req_ids::ACTION_ID,
+                        &self.action,
+                    ),
                 ])
             }
         };
@@ -384,10 +393,7 @@ mod tests {
         assert_eq!(window.first_integer(ids::WINDOW_STEP), Some(2));
         assert_eq!(window.first_text(ids::WINDOW_TYPE), Some("tuple"));
         assert_eq!(window.values_of(ids::WINDOW_ATTR).len(), 3);
-        assert_eq!(
-            window.values_of(ids::WINDOW_ATTR)[1].text,
-            "rainrate:avg"
-        );
+        assert_eq!(window.values_of(ids::WINDOW_ATTR)[1].text, "rainrate:avg");
     }
 
     #[test]
@@ -449,7 +455,8 @@ mod tests {
             Err(ExacmlError::BadObligation { .. })
         ));
         // Unparsable condition.
-        let ob = Obligation::on_permit(ids::STREAM_FILTER).with_string(ids::FILTER_CONDITION, "a >");
+        let ob =
+            Obligation::on_permit(ids::STREAM_FILTER).with_string(ids::FILTER_CONDITION, "a >");
         assert!(graph_from_obligations("s", &[ob]).is_err());
         // Empty map.
         let ob = Obligation::on_permit(ids::STREAM_MAP);

@@ -23,9 +23,7 @@ use crate::metrics::RequestTiming;
 use crate::obligations::graph_from_obligations;
 use crate::user_query::UserQuery;
 use crate::warnings::{has_empty_result, has_partial_result, Warning};
-use exacml_dsms::{
-    streamsql, DeploymentId, QueryGraph, Schema, StreamEngine, StreamHandle, Tuple,
-};
+use exacml_dsms::{streamsql, DeploymentId, QueryGraph, Schema, StreamEngine, StreamHandle, Tuple};
 use exacml_simnet::{NodeId, Topology};
 use exacml_xacml::{Decision, Pdp, Policy, PolicyStore, Request};
 use parking_lot::Mutex;
@@ -335,17 +333,33 @@ impl DataServer {
         let mut audit = self.audit.lock();
         match &result {
             Ok(response) => {
-                let kind = if response.reused { AuditEventKind::Reused } else { AuditEventKind::Granted };
-                audit.record(kind, subject, stream, Some(&response.policy_id),
-                    format!("handle {}", response.handle));
+                let kind =
+                    if response.reused { AuditEventKind::Reused } else { AuditEventKind::Granted };
+                audit.record(
+                    kind,
+                    subject,
+                    stream,
+                    Some(&response.policy_id),
+                    format!("handle {}", response.handle),
+                );
             }
             Err(ExacmlError::ConflictDetected { warnings }) => {
-                audit.record(AuditEventKind::Conflict, subject, stream, None,
-                    format!("{} warning(s)", warnings.len()));
+                audit.record(
+                    AuditEventKind::Conflict,
+                    subject,
+                    stream,
+                    None,
+                    format!("{} warning(s)", warnings.len()),
+                );
             }
             Err(ExacmlError::MultipleAccess { .. }) => {
-                audit.record(AuditEventKind::MultipleAccessBlocked, subject, stream, None,
-                    "different live query already held".to_string());
+                audit.record(
+                    AuditEventKind::MultipleAccessBlocked,
+                    subject,
+                    stream,
+                    None,
+                    "different live query already held".to_string(),
+                );
             }
             Err(ExacmlError::AccessDenied { decision, .. }) => {
                 audit.record(AuditEventKind::Denied, subject, stream, None, decision.clone());
@@ -518,12 +532,21 @@ impl DataServer {
     /// Fails when the script does not parse or references an unknown stream
     /// (the input stream must already be registered; its `CREATE INPUT
     /// STREAM` declaration is used only for validation).
-    pub fn direct_deploy(&self, script: &str) -> Result<(StreamHandle, RequestTiming), ExacmlError> {
+    pub fn direct_deploy(
+        &self,
+        script: &str,
+    ) -> Result<(StreamHandle, RequestTiming), ExacmlError> {
         let started = Instant::now();
         let parsed = streamsql::parse(script)?;
         let network = {
             let mut rng = self.rng.lock();
-            self.config.topology.round_trip(NodeId::Client, NodeId::Dsms, script.len(), 96, &mut *rng)
+            self.config.topology.round_trip(
+                NodeId::Client,
+                NodeId::Dsms,
+                script.len(),
+                96,
+                &mut *rng,
+            )
         };
         let dsms_started = Instant::now();
         let deployment = {
@@ -704,9 +727,8 @@ mod tests {
                     AggSpec::new("windspeed", AggFunc::Max),
                 ],
             );
-        let err = server
-            .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
-            .unwrap_err();
+        let err =
+            server.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)).unwrap_err();
         match err {
             ExacmlError::ConflictDetected { warnings } => {
                 assert!(has_empty_result(&warnings));
@@ -723,9 +745,8 @@ mod tests {
             WindowSpec::tuples(3, 2),
             vec![AggSpec::new("rainrate", AggFunc::Avg)],
         );
-        let err = server
-            .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
-            .unwrap_err();
+        let err =
+            server.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)).unwrap_err();
         assert!(matches!(err, ExacmlError::WindowTooFine { .. }));
     }
 
@@ -802,9 +823,8 @@ mod tests {
     fn mismatched_user_query_stream_is_rejected() {
         let server = server_with_weather();
         let query = UserQuery::for_stream("gps").with_filter("speed > 10");
-        let err = server
-            .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
-            .unwrap_err();
+        let err =
+            server.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)).unwrap_err();
         assert!(matches!(err, ExacmlError::StreamMismatch { .. }));
     }
 }

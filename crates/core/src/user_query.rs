@@ -116,8 +116,7 @@ impl UserQuery {
             parts.push(format!("filter={}", f.split_whitespace().collect::<Vec<_>>().join(" ")));
         }
         if !self.map.is_empty() {
-            let mut attrs: Vec<String> =
-                self.map.iter().map(|a| a.to_ascii_lowercase()).collect();
+            let mut attrs: Vec<String> = self.map.iter().map(|a| a.to_ascii_lowercase()).collect();
             attrs.sort();
             parts.push(format!("map={}", attrs.join(",")));
         }
@@ -139,8 +138,8 @@ impl UserQuery {
     /// Serialize to the Figure 4(a) XML form.
     #[must_use]
     pub fn to_xml(&self) -> String {
-        let mut root =
-            XmlElement::new("UserQuery").child(XmlElement::new("Stream").attr("name", self.stream.clone()));
+        let mut root = XmlElement::new("UserQuery")
+            .child(XmlElement::new("Stream").attr("name", self.stream.clone()));
         if let Some(filter) = &self.filter {
             root = root.child(
                 XmlElement::new("Filter")
@@ -160,10 +159,11 @@ impl UserQuery {
                 .child(XmlElement::new("WindowSize").with_text(agg.window.size.to_string()))
                 .child(XmlElement::new("WindowStep").with_text(agg.window.advance.to_string()));
             for spec in &agg.specs {
-                agg_el = agg_el.child(
-                    XmlElement::new("Attribute")
-                        .with_text(format!("{}({})", spec.function.keyword(), spec.attribute)),
-                );
+                agg_el = agg_el.child(XmlElement::new("Attribute").with_text(format!(
+                    "{}({})",
+                    spec.function.keyword(),
+                    spec.attribute
+                )));
             }
             root = root.child(agg_el);
         }
@@ -214,15 +214,21 @@ impl UserQuery {
             let kind = agg_el
                 .first_child("WindowType")
                 .and_then(|t| WindowKind::from_keyword(t.text.trim()))
-                .ok_or_else(|| ExacmlError::InvalidUserQuery("bad or missing <WindowType>".into()))?;
+                .ok_or_else(|| {
+                    ExacmlError::InvalidUserQuery("bad or missing <WindowType>".into())
+                })?;
             let size: u64 = agg_el
                 .first_child("WindowSize")
                 .and_then(|t| t.text.trim().parse().ok())
-                .ok_or_else(|| ExacmlError::InvalidUserQuery("bad or missing <WindowSize>".into()))?;
+                .ok_or_else(|| {
+                    ExacmlError::InvalidUserQuery("bad or missing <WindowSize>".into())
+                })?;
             let advance: u64 = agg_el
                 .first_child("WindowStep")
                 .and_then(|t| t.text.trim().parse().ok())
-                .ok_or_else(|| ExacmlError::InvalidUserQuery("bad or missing <WindowStep>".into()))?;
+                .ok_or_else(|| {
+                    ExacmlError::InvalidUserQuery("bad or missing <WindowStep>".into())
+                })?;
             let mut specs = Vec::new();
             for attr_el in agg_el.children_named("Attribute") {
                 let text = attr_el.text.trim();
@@ -266,7 +272,10 @@ mod tests {
         UserQuery::for_stream("weather")
             .with_filter("RainRate > 50")
             .with_map(["RainRate"])
-            .with_aggregation(WindowSpec::tuples(10, 2), vec![AggSpec::new("RainRate", AggFunc::Avg)])
+            .with_aggregation(
+                WindowSpec::tuples(10, 2),
+                vec![AggSpec::new("RainRate", AggFunc::Avg)],
+            )
     }
 
     #[test]
@@ -311,8 +320,10 @@ mod tests {
             UserQuery::for_stream("gps"),
             UserQuery::for_stream("gps").with_filter("speed > 80"),
             UserQuery::for_stream("gps").with_map(["latitude", "longitude"]),
-            UserQuery::for_stream("gps")
-                .with_aggregation(WindowSpec::time(60_000, 60_000), vec![AggSpec::new("speed", AggFunc::Max)]),
+            UserQuery::for_stream("gps").with_aggregation(
+                WindowSpec::time(60_000, 60_000),
+                vec![AggSpec::new("speed", AggFunc::Max)],
+            ),
         ] {
             let parsed = UserQuery::from_xml(&q.to_xml()).unwrap();
             assert_eq!(parsed, q);
@@ -323,11 +334,12 @@ mod tests {
     fn from_xml_rejects_malformed_documents() {
         assert!(UserQuery::from_xml("<NotAQuery/>").is_err());
         assert!(UserQuery::from_xml("<UserQuery/>").is_err());
-        assert!(UserQuery::from_xml("<UserQuery><Stream name=\"s\"/><Filter/></UserQuery>").is_err());
-        assert!(UserQuery::from_xml(
-            "<UserQuery><Stream name=\"s\"/><Map></Map></UserQuery>"
-        )
-        .is_err());
+        assert!(
+            UserQuery::from_xml("<UserQuery><Stream name=\"s\"/><Filter/></UserQuery>").is_err()
+        );
+        assert!(
+            UserQuery::from_xml("<UserQuery><Stream name=\"s\"/><Map></Map></UserQuery>").is_err()
+        );
         assert!(UserQuery::from_xml(
             "<UserQuery><Stream name=\"s\"/><Aggregation><WindowType>tuple</WindowType></Aggregation></UserQuery>"
         )

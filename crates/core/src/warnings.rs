@@ -229,7 +229,8 @@ mod tests {
     fn map_rules_from_paper() {
         let policy = MapOp::new(["samplingtime", "rainrate", "windspeed"]);
         // Identical sets → no warning.
-        assert!(check_map_merge(&policy, &MapOp::new(["samplingtime", "rainrate", "windspeed"])).is_none());
+        assert!(check_map_merge(&policy, &MapOp::new(["samplingtime", "rainrate", "windspeed"]))
+            .is_none());
         // Disjoint sets → NR.
         let w = check_map_merge(&policy, &MapOp::new(["temperature"])).unwrap();
         assert_eq!(w.kind, WarningKind::EmptyResult);
@@ -251,24 +252,32 @@ mod tests {
             vec![AggSpec::new("rainrate", AggFunc::Avg), AggSpec::new("windspeed", AggFunc::Max)],
         );
         // Coarser user window with a matching function → no warning.
-        let user =
-            AggregateOp::new(WindowSpec::tuples(10, 2), vec![AggSpec::new("rainrate", AggFunc::Avg)]);
+        let user = AggregateOp::new(
+            WindowSpec::tuples(10, 2),
+            vec![AggSpec::new("rainrate", AggFunc::Avg)],
+        );
         assert!(check_aggregate_merge(&policy, &user).is_none());
         // Rule 1: finer user window size → NR.
-        let user =
-            AggregateOp::new(WindowSpec::tuples(4, 2), vec![AggSpec::new("rainrate", AggFunc::Avg)]);
+        let user = AggregateOp::new(
+            WindowSpec::tuples(4, 2),
+            vec![AggSpec::new("rainrate", AggFunc::Avg)],
+        );
         assert_eq!(check_aggregate_merge(&policy, &user).unwrap().kind, WarningKind::EmptyResult);
         // Rule 2: finer advance step → NR.
-        let user =
-            AggregateOp::new(WindowSpec::tuples(5, 1), vec![AggSpec::new("rainrate", AggFunc::Avg)]);
+        let user = AggregateOp::new(
+            WindowSpec::tuples(5, 1),
+            vec![AggSpec::new("rainrate", AggFunc::Avg)],
+        );
         assert_eq!(check_aggregate_merge(&policy, &user).unwrap().kind, WarningKind::EmptyResult);
         // Rule 3: different window type → NR.
         let user =
             AggregateOp::new(WindowSpec::time(5, 2), vec![AggSpec::new("rainrate", AggFunc::Avg)]);
         assert_eq!(check_aggregate_merge(&policy, &user).unwrap().kind, WarningKind::EmptyResult);
         // Rule 4: different function on the same attribute → NR.
-        let user =
-            AggregateOp::new(WindowSpec::tuples(5, 2), vec![AggSpec::new("rainrate", AggFunc::Max)]);
+        let user = AggregateOp::new(
+            WindowSpec::tuples(5, 2),
+            vec![AggSpec::new("rainrate", AggFunc::Max)],
+        );
         assert_eq!(check_aggregate_merge(&policy, &user).unwrap().kind, WarningKind::EmptyResult);
         // Rule 6: attribute not offered by the policy → PR.
         let user = AggregateOp::new(

@@ -188,7 +188,11 @@ impl StreamEngine {
                 Operator::Aggregate(op) => Some(SlidingBuffer::new(op.window)),
                 _ => None,
             };
-            stages.push(Stage { operator: node.operator.clone(), output_schema: out.clone().shared(), window });
+            stages.push(Stage {
+                operator: node.operator.clone(),
+                output_schema: out.clone().shared(),
+                window,
+            });
             current = out;
         }
         let output_schema = current.shared();
@@ -288,7 +292,11 @@ impl StreamEngine {
         if tuple.schema().as_ref() != schema.as_ref() {
             return Err(DsmsError::SchemaMismatch {
                 stream: stream.to_string(),
-                detail: format!("tuple schema {} differs from stream schema {}", tuple.schema(), schema),
+                detail: format!(
+                    "tuple schema {} differs from stream schema {}",
+                    tuple.schema(),
+                    schema
+                ),
             });
         }
         self.stats.tuples_ingested += 1;
@@ -377,7 +385,9 @@ mod tests {
         // above-threshold tuples reach the window.
         for i in 0..10 {
             let rain = if i % 2 == 0 { 10.0 + f64::from(i) } else { 1.0 };
-            engine.push("weather", weather_tuple(&schema, i64::from(i), rain, f64::from(i))).unwrap();
+            engine
+                .push("weather", weather_tuple(&schema, i64::from(i), rain, f64::from(i)))
+                .unwrap();
         }
         // 5 tuples pass the filter at i=0,2,4,6,8 → one window closes.
         let out: Vec<Tuple> = rx.try_iter().collect();
@@ -399,8 +409,10 @@ mod tests {
     #[test]
     fn multiple_deployments_on_one_stream() {
         let (mut engine, schema) = engine_with_weather();
-        let g1 = QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 5").unwrap().build();
-        let g2 = QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 100").unwrap().build();
+        let g1 =
+            QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 5").unwrap().build();
+        let g2 =
+            QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 100").unwrap().build();
         let d1 = engine.deploy(&g1).unwrap();
         let d2 = engine.deploy(&g2).unwrap();
         let rx1 = engine.subscribe(&d1.output_handle).unwrap();
@@ -481,8 +493,6 @@ mod tests {
         let d = engine.deploy(&g).unwrap();
         let s = engine.output_schema(&d.output_handle).unwrap();
         assert_eq!(s.field_names(), vec!["rainrate"]);
-        assert!(engine
-            .output_schema(&StreamHandle::from_uri("exacml://x/streams/999"))
-            .is_err());
+        assert!(engine.output_schema(&StreamHandle::from_uri("exacml://x/streams/999")).is_err());
     }
 }

@@ -268,10 +268,7 @@ mod tests {
     fn output_schema_of_figure1() {
         let g = example1_graph();
         let out = g.output_schema(&Schema::weather_example()).unwrap();
-        assert_eq!(
-            out.field_names(),
-            vec!["lastvalsamplingtime", "avgrainrate", "maxwindspeed"]
-        );
+        assert_eq!(out.field_names(), vec!["lastvalsamplingtime", "avgrainrate", "maxwindspeed"]);
     }
 
     #[test]

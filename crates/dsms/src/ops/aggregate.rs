@@ -110,9 +110,7 @@ impl AggFunc {
             AggFunc::Count => Value::Int(values.len() as i64),
             AggFunc::LastValue => values.last().cloned().unwrap_or(Value::Null),
             AggFunc::FirstValue => values.first().cloned().unwrap_or(Value::Null),
-            AggFunc::Sum => {
-                Value::Double(values.iter().filter_map(Value::as_f64).sum::<f64>())
-            }
+            AggFunc::Sum => Value::Double(values.iter().filter_map(Value::as_f64).sum::<f64>()),
             AggFunc::Avg => {
                 let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
                 if nums.is_empty() {
@@ -127,8 +125,8 @@ impl AggFunc {
                     Value::Null
                 } else {
                     let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-                    let var =
-                        nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+                    let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                        / nums.len() as f64;
                     Value::Double(var.sqrt())
                 }
             }
@@ -267,10 +265,8 @@ impl AggregateOp {
             .specs
             .iter()
             .map(|spec| {
-                let input_type = input
-                    .field(&spec.attribute)
-                    .map(|f| f.data_type)
-                    .expect("validated above");
+                let input_type =
+                    input.field(&spec.attribute).map(|f| f.data_type).expect("validated above");
                 Field::new(spec.output_name(), spec.function.output_type(input_type))
             })
             .collect();
@@ -300,10 +296,8 @@ impl AggregateOp {
             .specs
             .iter()
             .map(|spec| {
-                let column: Vec<Value> = window
-                    .iter()
-                    .filter_map(|t| t.get(&spec.attribute).cloned())
-                    .collect();
+                let column: Vec<Value> =
+                    window.iter().filter_map(|t| t.get(&spec.attribute).cloned()).collect();
                 spec.function.compute(&column)
             })
             .collect();
@@ -360,7 +354,10 @@ mod tests {
         assert_eq!(spec.function, AggFunc::Avg);
         assert_eq!(spec.encode(), "rainrate:avg");
         assert_eq!(spec.output_name(), "avgrainrate");
-        assert_eq!(AggSpec::parse("samplingtime:lastval").unwrap().output_name(), "lastvalsamplingtime");
+        assert_eq!(
+            AggSpec::parse("samplingtime:lastval").unwrap().output_name(),
+            "lastvalsamplingtime"
+        );
         assert!(AggSpec::parse("rainrate").is_none());
         assert!(AggSpec::parse(":avg").is_none());
         assert!(AggSpec::parse("rainrate:bogus").is_none());
@@ -417,16 +414,24 @@ mod tests {
     fn validation_errors() {
         let s = schema();
         // Unknown attribute.
-        let op = AggregateOp::new(WindowSpec::tuples(5, 2), vec![AggSpec::new("bogus", AggFunc::Avg)]);
+        let op =
+            AggregateOp::new(WindowSpec::tuples(5, 2), vec![AggSpec::new("bogus", AggFunc::Avg)]);
         assert!(matches!(op.validate(&s), Err(DsmsError::UnknownAttribute { .. })));
         // Numeric function on a text attribute.
-        let op = AggregateOp::new(WindowSpec::tuples(5, 2), vec![AggSpec::new("station", AggFunc::Avg)]);
+        let op =
+            AggregateOp::new(WindowSpec::tuples(5, 2), vec![AggSpec::new("station", AggFunc::Avg)]);
         assert!(matches!(op.validate(&s), Err(DsmsError::BadAggregate { .. })));
         // Count on a text attribute is fine.
-        let op = AggregateOp::new(WindowSpec::tuples(5, 2), vec![AggSpec::new("station", AggFunc::Count)]);
+        let op = AggregateOp::new(
+            WindowSpec::tuples(5, 2),
+            vec![AggSpec::new("station", AggFunc::Count)],
+        );
         assert!(op.validate(&s).is_ok());
         // Bad window.
-        let op = AggregateOp::new(WindowSpec::tuples(0, 2), vec![AggSpec::new("rainrate", AggFunc::Avg)]);
+        let op = AggregateOp::new(
+            WindowSpec::tuples(0, 2),
+            vec![AggSpec::new("rainrate", AggFunc::Avg)],
+        );
         assert!(matches!(op.validate(&s), Err(DsmsError::InvalidGraph(_))));
         // Empty spec list.
         let op = AggregateOp::new(WindowSpec::tuples(5, 2), vec![]);

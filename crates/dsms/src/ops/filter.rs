@@ -110,7 +110,9 @@ mod tests {
     fn validates_attributes_against_schema() {
         let f = FilterOp::parse("rainrate > 5 AND bogus < 2").unwrap();
         let err = f.validate(&Schema::weather_example()).unwrap_err();
-        assert!(matches!(err, DsmsError::UnknownAttribute { attribute, .. } if attribute == "bogus"));
+        assert!(
+            matches!(err, DsmsError::UnknownAttribute { attribute, .. } if attribute == "bogus")
+        );
         let f = FilterOp::parse("rainrate > 5 AND windspeed < 30").unwrap();
         f.validate(&Schema::weather_example()).unwrap();
     }

@@ -133,10 +133,7 @@ impl Schema {
     /// use [`Schema::contains`] first (the query-graph validator does).
     #[must_use]
     pub fn project(&self, attrs: &[String]) -> Schema {
-        let fields = attrs
-            .iter()
-            .filter_map(|name| self.field(name).cloned())
-            .collect();
+        let fields = attrs.iter().filter_map(|name| self.field(name).cloned()).collect();
         Schema { fields }
     }
 

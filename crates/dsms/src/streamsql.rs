@@ -76,7 +76,9 @@ pub fn generate(graph: &QueryGraph, input_schema: &Schema) -> String {
                 let selects: Vec<String> = op
                     .specs
                     .iter()
-                    .map(|s| format!("{}({}) AS {}", s.function.keyword(), s.attribute, s.output_name()))
+                    .map(|s| {
+                        format!("{}({}) AS {}", s.function.keyword(), s.attribute, s.output_name())
+                    })
                     .collect();
                 out.push_str(&format!(
                     "SELECT {} FROM {source}[{window_name}] INTO {target};\n",
@@ -127,8 +129,12 @@ pub fn parse(script: &str) -> Result<ParsedScript, DsmsError> {
 
         if upper.starts_with("CREATE INPUT STREAM") {
             let rest = &stmt["CREATE INPUT STREAM".len()..];
-            let open = rest.find('(').ok_or_else(|| err("missing '(' in input stream declaration".into()))?;
-            let close = rest.rfind(')').ok_or_else(|| err("missing ')' in input stream declaration".into()))?;
+            let open = rest
+                .find('(')
+                .ok_or_else(|| err("missing '(' in input stream declaration".into()))?;
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| err("missing ')' in input stream declaration".into()))?;
             let name = rest[..open].trim().to_string();
             if name.is_empty() {
                 return Err(err("missing input stream name".into()));
@@ -141,7 +147,8 @@ pub fn parse(script: &str) -> Result<ParsedScript, DsmsError> {
                 }
                 let mut parts = col.split_whitespace();
                 let fname = parts.next().ok_or_else(|| err(format!("bad column '{col}'")))?;
-                let ftype = parts.next().ok_or_else(|| err(format!("column '{fname}' missing a type")))?;
+                let ftype =
+                    parts.next().ok_or_else(|| err(format!("column '{fname}' missing a type")))?;
                 let data_type = DataType::from_sql_name(ftype)
                     .ok_or_else(|| err(format!("unknown type '{ftype}'")))?;
                 fields.push(Field::new(fname, data_type));
@@ -155,13 +162,21 @@ pub fn parse(script: &str) -> Result<ParsedScript, DsmsError> {
             // Intermediate stream declarations carry no information we need.
         } else if upper.starts_with("CREATE WINDOW") {
             let rest = &stmt["CREATE WINDOW".len()..];
-            let open = rest.find('(').ok_or_else(|| err("missing '(' in window declaration".into()))?;
-            let close = rest.rfind(')').ok_or_else(|| err("missing ')' in window declaration".into()))?;
+            let open =
+                rest.find('(').ok_or_else(|| err("missing '(' in window declaration".into()))?;
+            let close =
+                rest.rfind(')').ok_or_else(|| err("missing ')' in window declaration".into()))?;
             let name = rest[..open].trim().to_string();
             let body = rest[open + 1..close].to_ascii_uppercase();
             let tokens: Vec<&str> = body.split_whitespace().collect();
-            let size_pos = tokens.iter().position(|t| *t == "SIZE").ok_or_else(|| err("window missing SIZE".into()))?;
-            let adv_pos = tokens.iter().position(|t| *t == "ADVANCE").ok_or_else(|| err("window missing ADVANCE".into()))?;
+            let size_pos = tokens
+                .iter()
+                .position(|t| *t == "SIZE")
+                .ok_or_else(|| err("window missing SIZE".into()))?;
+            let adv_pos = tokens
+                .iter()
+                .position(|t| *t == "ADVANCE")
+                .ok_or_else(|| err("window missing ADVANCE".into()))?;
             let size: u64 = tokens
                 .get(size_pos + 1)
                 .and_then(|t| t.parse().ok())
@@ -177,7 +192,8 @@ pub fn parse(script: &str) -> Result<ParsedScript, DsmsError> {
             };
             windows.push((name, WindowSpec { kind, size, advance }));
         } else if upper.starts_with("SELECT") {
-            let b = builder.take().ok_or_else(|| err("SELECT before CREATE INPUT STREAM".into()))?;
+            let b =
+                builder.take().ok_or_else(|| err("SELECT before CREATE INPUT STREAM".into()))?;
             let next = parse_select(stmt, &upper, &windows, b, line_no + 1)?;
             builder = Some(next);
         } else {
@@ -219,7 +235,9 @@ fn parse_select(
 
     // Window reference → aggregation box; otherwise projection (unless `*`).
     if let Some(open) = from_clause.find('[') {
-        let close = from_clause.rfind(']').ok_or_else(|| err("missing ']' after window reference".into()))?;
+        let close = from_clause
+            .rfind(']')
+            .ok_or_else(|| err("missing ']' after window reference".into()))?;
         let window_name = from_clause[open + 1..close].trim();
         let spec = windows
             .iter()
@@ -229,7 +247,8 @@ fn parse_select(
         let mut specs = Vec::new();
         for item in select_list.split(',') {
             let item = item.trim();
-            let open = item.find('(').ok_or_else(|| err(format!("expected func(attr) in '{item}'")))?;
+            let open =
+                item.find('(').ok_or_else(|| err(format!("expected func(attr) in '{item}'")))?;
             let close = item.find(')').ok_or_else(|| err(format!("missing ')' in '{item}'")))?;
             let func = AggFunc::from_keyword(item[..open].trim())
                 .ok_or_else(|| err(format!("unknown aggregate function in '{item}'")))?;
@@ -302,7 +321,10 @@ mod tests {
         assert_eq!(parsed.schema, schema);
         assert_eq!(parsed.graph.composition(), "FB+MB+AB");
         assert_eq!(parsed.graph.filter().unwrap().source(), "rainrate > 50");
-        assert_eq!(parsed.graph.map().unwrap().attributes(), &["samplingtime".to_string(), "rainrate".to_string()]);
+        assert_eq!(
+            parsed.graph.map().unwrap().attributes(),
+            &["samplingtime".to_string(), "rainrate".to_string()]
+        );
         let agg = parsed.graph.aggregate().unwrap();
         assert_eq!(agg.window, WindowSpec::tuples(10, 2));
         assert_eq!(agg.specs.len(), 2);
@@ -320,7 +342,10 @@ mod tests {
             QueryGraphBuilder::on_stream("weather").filter_str("windspeed <= 30").unwrap().build(),
             QueryGraphBuilder::on_stream("weather").map(["rainrate", "windspeed"]).build(),
             QueryGraphBuilder::on_stream("weather")
-                .aggregate(WindowSpec::time(60_000, 30_000), vec![AggSpec::new("rainrate", AggFunc::Sum)])
+                .aggregate(
+                    WindowSpec::time(60_000, 30_000),
+                    vec![AggSpec::new("rainrate", AggFunc::Sum)],
+                )
                 .build(),
             QueryGraph::identity("weather"),
         ] {
@@ -347,7 +372,8 @@ mod tests {
             Err(DsmsError::StreamSqlParse { .. })
         ));
         // Unknown window reference.
-        let script = "CREATE INPUT STREAM s (a int);\nSELECT avg(a) AS avga FROM s[_5tuple] INTO output;";
+        let script =
+            "CREATE INPUT STREAM s (a int);\nSELECT avg(a) AS avga FROM s[_5tuple] INTO output;";
         assert!(matches!(parse(script), Err(DsmsError::StreamSqlParse { .. })));
     }
 

@@ -47,10 +47,7 @@ impl Tuple {
     /// Start building a tuple field-by-field.
     #[must_use]
     pub fn builder(schema: &Schema) -> TupleBuilder {
-        TupleBuilder {
-            schema: Arc::new(schema.clone()),
-            values: vec![None; schema.len()],
-        }
+        TupleBuilder { schema: Arc::new(schema.clone()), values: vec![None; schema.len()] }
     }
 
     /// Start building a tuple sharing an existing `Arc<Schema>`.
@@ -228,8 +225,11 @@ mod tests {
     fn arity_and_type_checking() {
         let schema = Schema::from_pairs([("a", DataType::Int), ("b", DataType::Text)]).shared();
         assert!(Tuple::new(Arc::clone(&schema), vec![Value::Int(1)]).is_err());
-        assert!(Tuple::new(Arc::clone(&schema), vec![Value::Text("x".into()), Value::Text("y".into())])
-            .is_err());
+        assert!(Tuple::new(
+            Arc::clone(&schema),
+            vec![Value::Text("x".into()), Value::Text("y".into())]
+        )
+        .is_err());
         assert!(Tuple::new(schema, vec![Value::Int(1), Value::Text("y".into())]).is_ok());
     }
 

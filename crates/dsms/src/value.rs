@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn sql_names_round_trip() {
-        for ty in [DataType::Int, DataType::Double, DataType::Bool, DataType::Text, DataType::Timestamp] {
+        for ty in
+            [DataType::Int, DataType::Double, DataType::Bool, DataType::Text, DataType::Timestamp]
+        {
             assert_eq!(DataType::from_sql_name(ty.sql_name()), Some(ty));
         }
         assert_eq!(DataType::from_sql_name("varchar"), Some(DataType::Text));
@@ -235,7 +237,9 @@ mod tests {
 
     #[test]
     fn defaults_match_types() {
-        for ty in [DataType::Int, DataType::Double, DataType::Bool, DataType::Text, DataType::Timestamp] {
+        for ty in
+            [DataType::Int, DataType::Double, DataType::Bool, DataType::Text, DataType::Timestamp]
+        {
             assert!(Value::default_for(ty).is_compatible_with(ty));
         }
     }

@@ -187,9 +187,7 @@ impl SlidingBuffer {
                 .buffer
                 .iter()
                 .filter(|t| {
-                    t.event_time()
-                        .map(|e| e >= window_start && e < window_end)
-                        .unwrap_or(false)
+                    t.event_time().map(|e| e >= window_start && e < window_end).unwrap_or(false)
                 })
                 .cloned()
                 .collect();

@@ -99,10 +99,18 @@ impl ValueSet {
         match (&simple.value, simple.op) {
             (Scalar::Number(v), CmpOp::Eq) => Some(ValueSet::NumPoint(*v)),
             (Scalar::Number(v), CmpOp::Ne) => Some(ValueSet::NumComplement(*v)),
-            (Scalar::Number(v), CmpOp::Gt) => Some(ValueSet::NumAbove { bound: *v, inclusive: false }),
-            (Scalar::Number(v), CmpOp::Ge) => Some(ValueSet::NumAbove { bound: *v, inclusive: true }),
-            (Scalar::Number(v), CmpOp::Lt) => Some(ValueSet::NumBelow { bound: *v, inclusive: false }),
-            (Scalar::Number(v), CmpOp::Le) => Some(ValueSet::NumBelow { bound: *v, inclusive: true }),
+            (Scalar::Number(v), CmpOp::Gt) => {
+                Some(ValueSet::NumAbove { bound: *v, inclusive: false })
+            }
+            (Scalar::Number(v), CmpOp::Ge) => {
+                Some(ValueSet::NumAbove { bound: *v, inclusive: true })
+            }
+            (Scalar::Number(v), CmpOp::Lt) => {
+                Some(ValueSet::NumBelow { bound: *v, inclusive: false })
+            }
+            (Scalar::Number(v), CmpOp::Le) => {
+                Some(ValueSet::NumBelow { bound: *v, inclusive: true })
+            }
             (Scalar::Text(s), CmpOp::Eq) => Some(ValueSet::TextPoint(s.clone())),
             (Scalar::Text(s), CmpOp::Ne) => Some(ValueSet::TextComplement(s.clone())),
             // Ordering operators over strings are rejected by the parser;
@@ -185,14 +193,12 @@ impl ValueSet {
             // A half-line is inside a complement iff the excluded point is
             // outside the half-line.
             (s @ (NumAbove { .. } | NumBelow { .. }), NumComplement(v)) => !s.contains_number(*v),
-            (
-                NumAbove { bound: a, inclusive: ia },
-                NumAbove { bound: b, inclusive: ib },
-            ) => a > b || (a == b && (*ib || !*ia)),
-            (
-                NumBelow { bound: a, inclusive: ia },
-                NumBelow { bound: b, inclusive: ib },
-            ) => a < b || (a == b && (*ib || !*ia)),
+            (NumAbove { bound: a, inclusive: ia }, NumAbove { bound: b, inclusive: ib }) => {
+                a > b || (a == b && (*ib || !*ia))
+            }
+            (NumBelow { bound: a, inclusive: ia }, NumBelow { bound: b, inclusive: ib }) => {
+                a < b || (a == b && (*ib || !*ia))
+            }
             // Opposite directions: a half-line is unbounded on the side the
             // other is bounded on, so containment is impossible.
             (NumAbove { .. }, NumBelow { .. }) | (NumBelow { .. }, NumAbove { .. }) => false,
@@ -314,10 +320,8 @@ pub fn check_dnf(dnf: &Dnf) -> ConflictReport {
 /// conjoin them, convert to DNF and run the NR/PR analysis.
 #[must_use]
 pub fn analyze_merge(policy: &Expr, user: &Expr) -> ConflictReport {
-    let combined = policy
-        .clone()
-        .with_origin(Origin::Policy)
-        .and(user.clone().with_origin(Origin::User));
+    let combined =
+        policy.clone().with_origin(Origin::Policy).and(user.clone().with_origin(Origin::User));
     let dnf = Dnf::from_expr(&combined);
     check_dnf(&dnf)
 }
@@ -480,12 +484,17 @@ mod tests {
                             .collect();
                         match verdict {
                             Verdict::Nr => {
-                                assert!(both.is_empty(),
-                                    "NR but {op1} {v1} ∧ {op2} {v2} is satisfiable on the sample");
+                                assert!(
+                                    both.is_empty(),
+                                    "NR but {op1} {v1} ∧ {op2} {v2} is satisfiable on the sample"
+                                );
                             }
                             Verdict::Compatible => {
-                                assert_eq!(both.len(), user_only.len(),
-                                    "Compatible but policy {op1} {v1} drops user {op2} {v2} tuples");
+                                assert_eq!(
+                                    both.len(),
+                                    user_only.len(),
+                                    "Compatible but policy {op1} {v1} drops user {op2} {v2} tuples"
+                                );
                             }
                             Verdict::Pr => {
                                 // PR claims: satisfiable on the real line, but the user

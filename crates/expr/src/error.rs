@@ -75,9 +75,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(ExprError::EmptyExpression, ExprError::EmptyExpression);
-        assert_ne!(
-            ExprError::EmptyExpression,
-            ExprError::UnterminatedString { position: 0 }
-        );
+        assert_ne!(ExprError::EmptyExpression, ExprError::UnterminatedString { position: 0 });
     }
 }

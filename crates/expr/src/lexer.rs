@@ -149,16 +149,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ExprError> {
                 tokens.push(Spanned { token: Token::Text(buf), position: start });
             }
             c if c.is_ascii_digit()
-                || (c == '-'
-                    && i + 1 < bytes.len()
-                    && (bytes[i + 1] as char).is_ascii_digit()) =>
+                || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) =>
             {
                 let start = i;
                 i += 1; // consume digit or leading minus
                 while i < bytes.len() {
                     let c = bytes[i] as char;
-                    let exponent_sign = (c == '-' || c == '+')
-                        && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E');
+                    let exponent_sign =
+                        (c == '-' || c == '+') && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E');
                     if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || exponent_sign {
                         i += 1;
                     } else {
@@ -166,9 +164,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ExprError> {
                     }
                 }
                 let text = &input[start..i];
-                let value: f64 = text
-                    .parse()
-                    .map_err(|_| ExprError::BadNumber { text: text.to_string(), position: start })?;
+                let value: f64 = text.parse().map_err(|_| ExprError::BadNumber {
+                    text: text.to_string(),
+                    position: start,
+                })?;
                 tokens.push(Spanned { token: Token::Number(value), position: start });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -249,15 +248,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(toks("and AND And or OR not NOT"), vec![
-            Token::And,
-            Token::And,
-            Token::And,
-            Token::Or,
-            Token::Or,
-            Token::Not,
-            Token::Not
-        ]);
+        assert_eq!(
+            toks("and AND And or OR not NOT"),
+            vec![Token::And, Token::And, Token::And, Token::Or, Token::Or, Token::Not, Token::Not]
+        );
     }
 
     #[test]
@@ -315,10 +309,7 @@ mod tests {
 
     #[test]
     fn unterminated_string_errors() {
-        assert!(matches!(
-            tokenize("a = 'oops"),
-            Err(ExprError::UnterminatedString { .. })
-        ));
+        assert!(matches!(tokenize("a = 'oops"), Err(ExprError::UnterminatedString { .. })));
     }
 
     #[test]

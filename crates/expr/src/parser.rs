@@ -272,10 +272,7 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        assert!(matches!(
-            parse_expr("a > 1 b < 2"),
-            Err(ExprError::UnexpectedToken { .. })
-        ));
+        assert!(matches!(parse_expr("a > 1 b < 2"), Err(ExprError::UnexpectedToken { .. })));
     }
 
     #[test]

@@ -52,7 +52,9 @@ fn emit(expr: &Expr, out: &mut Vec<PostfixTok>) {
             emit(b, out);
             out.push(PostfixTok::Or);
         }
-        Expr::Not(_) => panic!("to_postfix requires a NOT-free expression; run eliminate_not first"),
+        Expr::Not(_) => {
+            panic!("to_postfix requires a NOT-free expression; run eliminate_not first")
+        }
     }
 }
 

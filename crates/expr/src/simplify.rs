@@ -188,10 +188,9 @@ impl TextConstraints {
                 Some(existing) if existing == v => {}
                 Some(_) => self.contradiction = true,
             },
-            CmpOp::Ne
-                if !self.not_equals.iter().any(|s| s == v) => {
-                    self.not_equals.push(v.to_string());
-                }
+            CmpOp::Ne if !self.not_equals.iter().any(|s| s == v) => {
+                self.not_equals.push(v.to_string());
+            }
             // Ordering over strings is rejected upstream; keep the term
             // verbatim by treating it as a contradiction-free opaque
             // constraint (conservative, never happens for parsed input).
@@ -209,12 +208,7 @@ impl TextConstraints {
             }
             return Some(vec![SimpleExpr::new(attr, CmpOp::Eq, eq.clone())]);
         }
-        Some(
-            self.not_equals
-                .iter()
-                .map(|s| SimpleExpr::new(attr, CmpOp::Ne, s.clone()))
-                .collect(),
-        )
+        Some(self.not_equals.iter().map(|s| SimpleExpr::new(attr, CmpOp::Ne, s.clone())).collect())
     }
 }
 

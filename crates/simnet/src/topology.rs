@@ -71,10 +71,11 @@ impl Topology {
     pub fn paper_testbed() -> Self {
         let mut t = Topology::uniform(LinkSpec::lan_100mbps());
         // Server-room machines are one switch apart: lower latency.
-        t.set_link(NodeId::DataServer, NodeId::Dsms, LinkSpec {
-            base_latency_us: 150.0,
-            ..LinkSpec::lan_100mbps()
-        });
+        t.set_link(
+            NodeId::DataServer,
+            NodeId::Dsms,
+            LinkSpec { base_latency_us: 150.0, ..LinkSpec::lan_100mbps() },
+        );
         t
     }
 
@@ -131,7 +132,8 @@ impl Topology {
         response_bytes: usize,
         rng: &mut R,
     ) -> Duration {
-        self.transfer_delay(a, b, request_bytes, rng) + self.transfer_delay(b, a, response_bytes, rng)
+        self.transfer_delay(a, b, request_bytes, rng)
+            + self.transfer_delay(b, a, response_bytes, rng)
     }
 }
 

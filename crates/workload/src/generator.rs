@@ -196,7 +196,8 @@ impl WorkloadGenerator {
         let total: usize = mix.iter().map(|(_, n)| *n).sum();
         let mut labels = Vec::with_capacity(self.spec.n_policies.max(total));
         for (label, count) in &mix {
-            let scaled = ((*count as f64 / total as f64) * self.spec.n_policies as f64).round() as usize;
+            let scaled =
+                ((*count as f64 / total as f64) * self.spec.n_policies as f64).round() as usize;
             labels.extend(std::iter::repeat_n(*label, scaled.max(1)));
         }
         labels
@@ -224,7 +225,7 @@ impl WorkloadGenerator {
 
         if wants_filter {
             let attr = &numeric[rng.gen_range(0..numeric.len())];
-            let op = ["<", ">", "<=", ">="][rng.gen_range(0..4)];
+            let op = ["<", ">", "<=", ">="][rng.gen_range(0..4usize)];
             let threshold = rng.gen_range(0.0..100.0_f64).round();
             builder = builder
                 .filter_str(&format!("{attr} {op} {threshold}"))
@@ -256,7 +257,7 @@ impl WorkloadGenerator {
             for _ in 0..n_specs {
                 let attr = pool.swap_remove(rng.gen_range(0..pool.len()));
                 let func = [AggFunc::Avg, AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Count]
-                    [rng.gen_range(0..5)];
+                    [rng.gen_range(0..5usize)];
                 specs.push(AggSpec::new(attr, func));
             }
             builder = builder.aggregate(WindowSpec::tuples(size, advance), specs);

@@ -27,7 +27,15 @@ impl CompositionMix {
     /// The exact Table 3 mix: `160:170:130:124:254:290:372`.
     #[must_use]
     pub fn table3() -> Self {
-        CompositionMix { fb: 160, mb: 170, ab: 130, fb_mb: 124, fb_ab: 254, mb_ab: 290, fb_mb_ab: 372 }
+        CompositionMix {
+            fb: 160,
+            mb: 170,
+            ab: 130,
+            fb_mb: 124,
+            fb_ab: 254,
+            mb_ab: 290,
+            fb_mb_ab: 372,
+        }
     }
 
     /// A small mix with the same proportions, for quick tests.

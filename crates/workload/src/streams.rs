@@ -55,8 +55,8 @@ impl WeatherFeed {
         self.next_ts += self.interval_ms;
         // Rain: mostly light with occasional heavy bursts (so both sides of
         // the `rainrate > 5` / `> 50` thresholds are exercised).
-        let burst = if self.rng.gen_bool(0.15) { self.rng.gen_range(20.0..90.0) } else { 0.0 };
-        let rain = (self.base_rain + self.rng.gen_range(0.0..4.0) + burst).max(0.0);
+        let burst = if self.rng.gen_bool(0.15) { self.rng.gen_range(20.0..90.0_f64) } else { 0.0 };
+        let rain = (self.base_rain + self.rng.gen_range(0.0..4.0_f64) + burst).max(0.0);
         Tuple::builder(&self.schema)
             .set("samplingtime", Value::Timestamp(ts))
             .set("temperature", 24.0 + self.rng.gen_range(0.0..10.0))

@@ -104,7 +104,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let samples = z.sample_sequence(50_000, &mut rng);
         let rank0 = samples.iter().filter(|s| **s == 0).count() as f64 / samples.len() as f64;
-        assert!((rank0 - z.probability(0)).abs() < 0.02, "rank0 freq {rank0} vs p {}", z.probability(0));
+        assert!(
+            (rank0 - z.probability(0)).abs() < 0.02,
+            "rank0 freq {rank0} vs p {}",
+            z.probability(0)
+        );
         // Every drawn rank is within range.
         assert!(samples.iter().all(|s| *s < 50));
     }

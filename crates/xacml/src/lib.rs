@@ -34,8 +34,10 @@ pub use attribute::{AttributeCategory, AttributeValue, XmlDataType};
 pub use error::XacmlError;
 pub use obligation::{AttributeAssignment, Obligation};
 pub use pdp::{Decision, DecisionResponse, Pdp, PolicyStore};
+pub use policy::{
+    AttributeMatch, Effect, Policy, PolicyCombiningAlg, Rule, RuleCombiningAlg, Target,
+};
 pub use repository::{PolicyRepository, RepositoryError};
-pub use policy::{AttributeMatch, Effect, Policy, PolicyCombiningAlg, Rule, RuleCombiningAlg, Target};
 pub use request::Request;
 
 /// Commonly used items, re-exported for convenience.

@@ -107,7 +107,13 @@ impl Obligation {
 
 impl fmt::Display for Obligation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (FulfillOn={}, {} assignments)", self.id, self.fulfill_on, self.assignments.len())
+        write!(
+            f,
+            "{} (FulfillOn={}, {} assignments)",
+            self.id,
+            self.fulfill_on,
+            self.assignments.len()
+        )
     }
 }
 
@@ -123,7 +129,10 @@ mod tests {
             .with_integer("pCloud:obligation:stream-window-size-id", 5);
         assert_eq!(ob.fulfill_on, Effect::Permit);
         assert_eq!(ob.values_of("pCloud:obligation:stream-map-attribute-id").len(), 2);
-        assert_eq!(ob.first_text("pCloud:obligation:stream-map-attribute-id"), Some("samplingtime"));
+        assert_eq!(
+            ob.first_text("pCloud:obligation:stream-map-attribute-id"),
+            Some("samplingtime")
+        );
         assert_eq!(ob.first_integer("pCloud:obligation:stream-window-size-id"), Some(5));
         assert_eq!(ob.first_text("nosuch"), None);
         assert!(ob.to_string().contains("stream-map"));

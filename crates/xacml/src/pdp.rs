@@ -58,7 +58,11 @@ impl DecisionResponse {
     /// A Not-Applicable response with no obligations.
     #[must_use]
     pub fn not_applicable() -> Self {
-        DecisionResponse { decision: Decision::NotApplicable, obligations: Vec::new(), policy_id: None }
+        DecisionResponse {
+            decision: Decision::NotApplicable,
+            obligations: Vec::new(),
+            policy_id: None,
+        }
     }
 
     /// Whether access was granted.
@@ -267,12 +271,12 @@ impl Pdp {
 
         match self.combining {
             PolicyCombiningAlg::FirstApplicable => DecisionResponse::not_applicable(),
-            PolicyCombiningAlg::PermitOverrides => permit
-                .or(deny)
-                .unwrap_or_else(DecisionResponse::not_applicable),
-            PolicyCombiningAlg::DenyOverrides => deny
-                .or(permit)
-                .unwrap_or_else(DecisionResponse::not_applicable),
+            PolicyCombiningAlg::PermitOverrides => {
+                permit.or(deny).unwrap_or_else(DecisionResponse::not_applicable)
+            }
+            PolicyCombiningAlg::DenyOverrides => {
+                deny.or(permit).unwrap_or_else(DecisionResponse::not_applicable)
+            }
         }
     }
 
@@ -337,7 +341,10 @@ mod tests {
     #[test]
     fn store_rejects_invalid_policy() {
         let store = PolicyStore::new();
-        assert!(matches!(store.add(Policy::new("no-rules")), Err(XacmlError::InvalidPolicy { .. })));
+        assert!(matches!(
+            store.add(Policy::new("no-rules")),
+            Err(XacmlError::InvalidPolicy { .. })
+        ));
     }
 
     #[test]
@@ -394,7 +401,11 @@ mod tests {
         // matching the request.
         let mut policies = Vec::new();
         for i in 0..500 {
-            policies.push(permit_policy(&format!("p{i}"), &format!("user{i}"), &format!("stream{i}")));
+            policies.push(permit_policy(
+                &format!("p{i}"),
+                &format!("user{i}"),
+                &format!("stream{i}"),
+            ));
         }
         let pdp = Pdp::new(store_with(policies));
         let response = pdp.evaluate(&Request::subscribe("user250", "stream250"));

@@ -62,10 +62,7 @@ impl AttributeMatch {
     /// Whether the request satisfies the matcher.
     #[must_use]
     pub fn matches(&self, request: &Request) -> bool {
-        request
-            .values_of(self.category, &self.attribute_id)
-            .iter()
-            .any(|v| v.text == self.value)
+        request.values_of(self.category, &self.attribute_id).iter().any(|v| v.text == self.value)
     }
 }
 
@@ -283,8 +280,7 @@ impl Policy {
         if !self.target.matches(request) {
             return None;
         }
-        let applicable =
-            self.rules.iter().filter(|r| r.target.matches(request)).map(|r| r.effect);
+        let applicable = self.rules.iter().filter(|r| r.target.matches(request)).map(|r| r.effect);
         match self.rule_combining {
             RuleCombiningAlg::FirstApplicable => applicable.clone().next(),
             RuleCombiningAlg::PermitOverrides => {
@@ -358,7 +354,10 @@ mod tests {
     fn empty_target_matches_everything() {
         let policy = Policy::new("open").with_rule(Rule::permit_all("p"));
         assert_eq!(policy.evaluate(&Request::new()), Some(Effect::Permit));
-        assert_eq!(policy.evaluate(&Request::subscribe("anyone", "anything")), Some(Effect::Permit));
+        assert_eq!(
+            policy.evaluate(&Request::subscribe("anyone", "anything")),
+            Some(Effect::Permit)
+        );
     }
 
     #[test]

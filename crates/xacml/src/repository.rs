@@ -70,7 +70,13 @@ impl PolicyRepository {
         // Keep file names safe: replace path separators and spaces.
         let safe: String = policy_id
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.root.join(format!("{safe}.xml"))
     }
@@ -135,8 +141,8 @@ impl PolicyRepository {
         let mut policies = Vec::new();
         for entry in self.sorted_xml_files()? {
             let text = fs::read_to_string(&entry)?;
-            let policy =
-                parse_policy(&text).map_err(|error| RepositoryError::Policy { file: entry, error })?;
+            let policy = parse_policy(&text)
+                .map_err(|error| RepositoryError::Policy { file: entry, error })?;
             policies.push(policy);
         }
         Ok(policies)
@@ -154,10 +160,9 @@ impl PolicyRepository {
             if store.contains(&policy.id) {
                 continue;
             }
-            store.add(policy).map_err(|error| RepositoryError::Policy {
-                file: self.root.clone(),
-                error,
-            })?;
+            store
+                .add(policy)
+                .map_err(|error| RepositoryError::Policy { file: self.root.clone(), error })?;
             added += 1;
         }
         Ok(added)

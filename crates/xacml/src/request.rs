@@ -99,7 +99,11 @@ impl Request {
 
     /// All values of an attribute in a category.
     #[must_use]
-    pub fn values_of(&self, category: AttributeCategory, attribute_id: &str) -> Vec<&AttributeValue> {
+    pub fn values_of(
+        &self,
+        category: AttributeCategory,
+        attribute_id: &str,
+    ) -> Vec<&AttributeValue> {
         self.attributes
             .iter()
             .filter(|a| a.category == category && a.attribute_id == attribute_id)

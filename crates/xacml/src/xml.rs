@@ -295,8 +295,7 @@ impl XmlParser<'_> {
                     if self.peek() != Some(quote) {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let value =
-                        unescape(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                    let value = unescape(&String::from_utf8_lossy(&self.input[start..self.pos]));
                     self.pos += 1;
                     element.attributes.push((attr_name, value));
                 }
@@ -335,7 +334,9 @@ impl XmlParser<'_> {
                 self.pos += 2;
                 let closing = self.parse_name()?;
                 if closing != name {
-                    return Err(self.err(format!("mismatched closing tag </{closing}> for <{name}>")));
+                    return Err(
+                        self.err(format!("mismatched closing tag </{closing}> for <{name}>"))
+                    );
                 }
                 self.skip_whitespace();
                 if self.peek() != Some(b'>') {
@@ -355,10 +356,7 @@ fn find_from(haystack: &[u8], from: usize, needle: &str) -> Option<usize> {
     if from >= haystack.len() {
         return None;
     }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|i| i + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|i| i + from)
 }
 
 // ---------------------------------------------------------------------------
@@ -403,9 +401,9 @@ fn target_from_xml(el: &XmlElement) -> Result<Target, XacmlError> {
         for outer_el in el.children_named(outer) {
             for inner_el in outer_el.children_named(inner) {
                 for m in inner_el.children_named(match_name) {
-                    let attribute_id = m
-                        .attribute("AttributeId")
-                        .ok_or_else(|| XacmlError::XmlStructure(format!("{match_name} missing AttributeId")))?;
+                    let attribute_id = m.attribute("AttributeId").ok_or_else(|| {
+                        XacmlError::XmlStructure(format!("{match_name} missing AttributeId"))
+                    })?;
                     matches.push(AttributeMatch::new(category, attribute_id, m.text.clone()));
                 }
             }
@@ -439,13 +437,14 @@ fn obligation_from_xml(el: &XmlElement) -> Result<Obligation, XacmlError> {
         .ok_or_else(|| XacmlError::XmlStructure("Obligation missing/invalid FulfillOn".into()))?;
     let mut obligation = Obligation { id: id.to_string(), fulfill_on, assignments: Vec::new() };
     for a in el.children_named("AttributeAssignment") {
-        let attribute_id = a
-            .attribute("AttributeId")
-            .ok_or_else(|| XacmlError::XmlStructure("AttributeAssignment missing AttributeId".into()))?;
+        let attribute_id = a.attribute("AttributeId").ok_or_else(|| {
+            XacmlError::XmlStructure("AttributeAssignment missing AttributeId".into())
+        })?;
         let data_type = a
             .attribute("DataType")
             .map(|uri| {
-                XmlDataType::from_uri(uri).ok_or_else(|| XacmlError::UnknownDataType(uri.to_string()))
+                XmlDataType::from_uri(uri)
+                    .ok_or_else(|| XacmlError::UnknownDataType(uri.to_string()))
             })
             .transpose()?
             .unwrap_or(XmlDataType::String);
@@ -530,17 +529,8 @@ pub fn parse_policy(xml: &str) -> Result<Policy, XacmlError> {
             obligations.push(obligation_from_xml(o)?);
         }
     }
-    let policy = Policy {
-        id: id.clone(),
-        description,
-        target,
-        rules,
-        rule_combining,
-        obligations,
-    };
-    policy
-        .validate()
-        .map_err(|detail| XacmlError::InvalidPolicy { policy_id: id, detail })?;
+    let policy = Policy { id: id.clone(), description, target, rules, rule_combining, obligations };
+    policy.validate().map_err(|detail| XacmlError::InvalidPolicy { policy_id: id, detail })?;
     Ok(policy)
 }
 
@@ -553,8 +543,7 @@ pub fn parse_policy(xml: &str) -> Result<Policy, XacmlError> {
 pub fn write_request(request: &Request) -> String {
     let mut root = XmlElement::new("Request");
     for category in AttributeCategory::all() {
-        let attrs: Vec<_> =
-            request.attributes.iter().filter(|a| a.category == category).collect();
+        let attrs: Vec<_> = request.attributes.iter().filter(|a| a.category == category).collect();
         if attrs.is_empty() {
             continue;
         }
@@ -605,11 +594,8 @@ pub fn parse_request(xml: &str) -> Result<Request, XacmlError> {
                 .first_child("AttributeValue")
                 .map(|v| v.text.clone())
                 .unwrap_or_else(|| attr_el.text.clone());
-            request = request.with_attribute(
-                category,
-                attribute_id,
-                AttributeValue { data_type, text },
-            );
+            request =
+                request.with_attribute(category, attribute_id, AttributeValue { data_type, text });
         }
     }
     request.validate().map_err(XacmlError::InvalidRequest)?;
@@ -674,10 +660,8 @@ mod tests {
             .with_target(Target::subject_resource_action("LTA", "weather", "subscribe"))
             .with_rule(Rule::permit_all("permit"))
             .with_obligation(
-                Obligation::on_permit("exacml:obligation:stream-filter").with_string(
-                    "pCloud:obligation:stream-filter-condition-id",
-                    "rainrate > 5",
-                ),
+                Obligation::on_permit("exacml:obligation:stream-filter")
+                    .with_string("pCloud:obligation:stream-filter-condition-id", "rainrate > 5"),
             )
             .with_obligation(
                 Obligation::on_permit("exacml:obligation:stream-window")
@@ -703,11 +687,8 @@ mod tests {
     fn policy_round_trip_preserves_figure2_structure() {
         let xml = write_policy(&sample_policy());
         let parsed = parse_policy(&xml).unwrap();
-        let window = parsed
-            .obligations
-            .iter()
-            .find(|o| o.id == "exacml:obligation:stream-window")
-            .unwrap();
+        let window =
+            parsed.obligations.iter().find(|o| o.id == "exacml:obligation:stream-window").unwrap();
         assert_eq!(window.first_integer("pCloud:obligation:stream-window-size-id"), Some(5));
         assert_eq!(window.first_integer("pCloud:obligation:stream-window-step-id"), Some(2));
         assert_eq!(window.first_text("pCloud:obligation:stream-window-type-id"), Some("tuple"));
@@ -758,7 +739,9 @@ mod tests {
             Err(XacmlError::XmlStructure(_))
         ));
         assert!(matches!(
-            parse_request("<Request><Subject><Attribute DataType=\"x#string\"/></Subject></Request>"),
+            parse_request(
+                "<Request><Subject><Attribute DataType=\"x#string\"/></Subject></Request>"
+            ),
             Err(XacmlError::XmlStructure(_))
         ));
     }

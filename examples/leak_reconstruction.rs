@@ -10,7 +10,9 @@
 
 use exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
 use exacml_plus::attack::simulate_attack;
-use exacml_plus::{ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery};
+use exacml_plus::{
+    ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
+};
 use std::sync::Arc;
 
 fn main() {
@@ -32,10 +34,15 @@ fn main() {
 
     // --- part 2: eXACML+ prevents it ----------------------------------------
     let server = Arc::new(DataServer::new(ServerConfig::local()));
-    server.register_stream("readings", Schema::from_pairs([
-        ("samplingtime", exacml_dsms::DataType::Timestamp),
-        ("a", exacml_dsms::DataType::Double),
-    ])).unwrap();
+    server
+        .register_stream(
+            "readings",
+            Schema::from_pairs([
+                ("samplingtime", exacml_dsms::DataType::Timestamp),
+                ("a", exacml_dsms::DataType::Double),
+            ]),
+        )
+        .unwrap();
     // The owner's policy: only sum windows of size ≥ 3, advance ≥ 2.
     let policy = StreamPolicyBuilder::new("sums-only", "readings")
         .subject("analyst")
@@ -46,10 +53,8 @@ fn main() {
 
     let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
     let window = |size: u64| {
-        UserQuery::for_stream("readings").with_aggregation(
-            WindowSpec::tuples(size, 2),
-            vec![AggSpec::new("a", AggFunc::Sum)],
-        )
+        UserQuery::for_stream("readings")
+            .with_aggregation(WindowSpec::tuples(size, 2), vec![AggSpec::new("a", AggFunc::Sum)])
     };
 
     // The first window (size 3) is granted...

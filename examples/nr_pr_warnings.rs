@@ -75,5 +75,8 @@ fn main() {
         }
         other => panic!("expected a PR conflict, got {other:?}"),
     }
-    println!("\nno query graph was deployed for either conflicting request: {} live deployments", server.live_deployments());
+    println!(
+        "\nno query graph was deployed for either conflicting request: {} live deployments",
+        server.live_deployments()
+    );
 }

@@ -50,8 +50,8 @@ fn main() {
     println!("{}", exacml_xacml::xml::write_policy(&policy));
 
     println!("=== Figure 1: the query graph derived from the obligations ===");
-    let policy_graph =
-        exacml_plus::graph_from_obligations("weather", &policy.obligations).expect("valid obligations");
+    let policy_graph = exacml_plus::graph_from_obligations("weather", &policy.obligations)
+        .expect("valid obligations");
     println!("{policy_graph}\n");
 
     server.load_policy(policy).expect("load the policy onto the data server");

@@ -6,7 +6,9 @@
 //! Run with `cargo run --example smart_city`.
 
 use exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
-use exacml_plus::{ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery};
+use exacml_plus::{
+    ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
+};
 use exacml_workload::{GpsFeed, WeatherFeed};
 use std::sync::Arc;
 
@@ -74,9 +76,8 @@ fn main() {
     let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
 
     // --- each agency requests its view --------------------------------------
-    let health_view = client
-        .request_access("HealthAgency", "weather", None)
-        .expect("health agency is permitted");
+    let health_view =
+        client.request_access("HealthAgency", "weather", None).expect("health agency is permitted");
     let transport_query = UserQuery::for_stream("weather")
         .with_filter("rainrate > 30")
         .with_map(["samplingtime", "rainrate"])
@@ -94,7 +95,11 @@ fn main() {
         client.request_access("UrbanLab", "gps", None).expect("research lab is permitted");
 
     println!("\nhealth view handle:    {}", health_view.handle);
-    println!("transport view handle: {} ({} warnings)", transport_view.handle, transport_view.warnings.len());
+    println!(
+        "transport view handle: {} ({} warnings)",
+        transport_view.handle,
+        transport_view.warnings.len()
+    );
     println!("research view handle:  {}", research_view.handle);
 
     // Cross-checks: agencies cannot read each other's streams.

@@ -1,1 +1,32 @@
-pub use exacml_plus; pub use exacml_dsms; pub use exacml_xacml; pub use exacml_expr; pub use exacml_simnet; pub use exacml_workload;
+//! eXACML+ umbrella crate.
+//!
+//! Re-exports every subsystem of the workspace under one roof so downstream
+//! users (and the integration tests under `tests/`) can depend on a single
+//! crate. The member crates keep their own identities:
+//!
+//! * [`exacml_plus`] — the framework core: obligation ⇄ query-graph
+//!   translation, NR/PR merge analysis, graph management, proxy, data server,
+//!   and the Section 3.4 attack model (package `exacml-plus`, `crates/core`).
+//! * [`exacml_dsms`] — the from-scratch stream engine: Aurora-style query
+//!   graphs, operators, sliding windows, StreamSQL (package `exacml-dsms`).
+//! * [`exacml_xacml`] — the XACML policy model, repository, XML round-trip,
+//!   and PDP (package `exacml-xacml`).
+//! * [`exacml_expr`] — the filter-expression algebra: parsing, DNF,
+//!   simplification, and the NR/PR pairwise check (package `exacml-expr`).
+//! * [`exacml_simnet`] — the simulated network used by the experiments
+//!   (package `exacml-simnet`).
+//! * [`exacml_workload`] — Section 4.2 workload generation (package
+//!   `exacml-workload`).
+//! * [`exacml_bench`] — experiment harnesses for the paper's figures and
+//!   tables (package `exacml-bench`).
+//!
+//! Package names are hyphenated; the re-exports below use the underscore
+//! form rustc gives each library target.
+
+pub use exacml_bench;
+pub use exacml_dsms;
+pub use exacml_expr;
+pub use exacml_plus;
+pub use exacml_simnet;
+pub use exacml_workload;
+pub use exacml_xacml;

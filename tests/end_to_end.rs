@@ -103,13 +103,12 @@ fn policy_documents_round_trip_through_the_server() {
         )
         .to_xml();
     let query = UserQuery::from_xml(&query_xml).unwrap();
-    let server = DataServer::new(ServerConfig {
-        deploy_on_partial_result: true,
-        ..ServerConfig::local()
-    });
+    let server =
+        DataServer::new(ServerConfig { deploy_on_partial_result: true, ..ServerConfig::local() });
     server.register_stream("weather", Schema::weather_example()).unwrap();
     server.load_policy_xml(&xml).unwrap();
-    let response = server.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)).unwrap();
+    let response =
+        server.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)).unwrap();
     assert!(response.streamsql.contains("rainrate > 50"));
 }
 
@@ -243,9 +242,7 @@ fn audit_trail_records_the_access_lifecycle() {
     // request goes straight to the server because the proxy cache would
     // otherwise answer it without the server ever seeing it.)
     client.request_access("LTA", "weather", None).unwrap();
-    let reused = server
-        .handle_request(&Request::subscribe("LTA", "weather"), None)
-        .unwrap();
+    let reused = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
     assert!(reused.reused);
     let _ = client.request_access("EMA", "weather", None);
     client.release("LTA", "weather");

@@ -56,8 +56,7 @@ fn example1_policy_encodes_figure2_obligations() {
 
 #[test]
 fn figure4_user_query_merges_into_the_published_streamsql() {
-    let policy_graph =
-        graph_from_obligations("weather", &example1_policy().obligations).unwrap();
+    let policy_graph = graph_from_obligations("weather", &example1_policy().obligations).unwrap();
     let user_query = UserQuery::for_stream("weather")
         .with_filter("rainrate > 50")
         .with_map(["rainrate", "samplingtime"])
@@ -194,11 +193,9 @@ fn table2_not_conversion_rules() {
 #[test]
 fn figure5_matrix_for_ge_versus_le() {
     // S1 = x >= v1 (policy), S2 = x <= v2 (user): NR when v1 > v2, PR otherwise.
-    for (v1, v2, expected) in [
-        (10.0, 5.0, Verdict::Nr),
-        (5.0, 10.0, Verdict::Pr),
-        (7.0, 7.0, Verdict::Pr),
-    ] {
+    for (v1, v2, expected) in
+        [(10.0, 5.0, Verdict::Nr), (5.0, 10.0, Verdict::Pr), (7.0, 7.0, Verdict::Pr)]
+    {
         let verdict = analyze_merge(
             &parse_expr(&format!("x >= {v1}")).unwrap(),
             &parse_expr(&format!("x <= {v2}")).unwrap(),
@@ -215,9 +212,7 @@ fn workflow_steps_of_section_3_2_in_order() {
     let server = Arc::new(DataServer::new(ServerConfig::local()));
     server.register_stream("weather", Schema::weather_example()).unwrap();
     server.load_policy(example1_policy()).unwrap();
-    let response = server
-        .handle_request(&Request::subscribe("LTA", "weather"), None)
-        .unwrap();
+    let response = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
     assert!(response.timing.total >= response.timing.pdp);
     assert!(response.timing.total >= response.timing.dsms);
     assert!(!response.streamsql.is_empty());

@@ -42,8 +42,7 @@ fn arb_simple() -> impl Strategy<Value = Expr> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     arb_simple().prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|e| Expr::Not(Box::new(e))),
         ]
@@ -140,13 +139,21 @@ proptest! {
 
 fn arb_graph() -> impl Strategy<Value = QueryGraph> {
     let attrs = ["samplingtime", "rainrate", "windspeed", "temperature", "humidity"];
-    let arb_filter = (0usize..4, 0.0f64..100.0).prop_map(move |(i, v)| {
-        format!("{} > {v:.1}", attrs[i + 1])
-    });
+    let arb_filter =
+        (0usize..4, 0.0f64..100.0).prop_map(move |(i, v)| format!("{} > {v:.1}", attrs[i + 1]));
     let arb_map = proptest::collection::vec(1usize..5, 1..4);
-    let arb_agg = (4u64..20, 1u64..4, 0usize..4, prop_oneof![
-        Just(AggFunc::Avg), Just(AggFunc::Max), Just(AggFunc::Min), Just(AggFunc::Sum), Just(AggFunc::Count)
-    ]);
+    let arb_agg = (
+        4u64..20,
+        1u64..4,
+        0usize..4,
+        prop_oneof![
+            Just(AggFunc::Avg),
+            Just(AggFunc::Max),
+            Just(AggFunc::Min),
+            Just(AggFunc::Sum),
+            Just(AggFunc::Count)
+        ],
+    );
     (proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY, arb_filter, arb_map, arb_agg)
         .prop_map(move |(with_f, with_m, with_a, filter, map_idx, (size, adv, agg_idx, func))| {
             let mut builder = QueryGraphBuilder::on_stream("weather");

@@ -1,0 +1,305 @@
+//! Minimal vendored stand-in for [`criterion`].
+//!
+//! Implements the API slice the workspace's five benches use — benchmark
+//! groups, `iter`/`iter_batched`, throughput annotation — with a simple
+//! mean-of-samples measurement loop and plain-text reporting instead of
+//! criterion's statistical machinery. Good enough to keep the bench harnesses
+//! compiling, running, and printing comparable numbers; swap in the real
+//! criterion when a registry is reachable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration, used to derive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` should amortise. The stand-in runs
+/// one setup per measured iteration regardless, so this is informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { name: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (warm_up, measurement, samples) =
+            (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_benchmark(&name.into(), None, warm_up, measurement, samples, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_benchmark(
+            &label,
+            self.throughput,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` accept both plain
+/// strings and `BenchmarkId::new(..)` like the real criterion.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly, recording one sample per call batch.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let iterations = self.iterations_per_sample;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iterations as u32);
+    }
+
+    /// Time `routine` on values produced by `setup`, excluding setup cost.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        let iterations = self.iterations_per_sample;
+        let mut total = Duration::ZERO;
+        for _ in 0..iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / iterations as u32);
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    throughput: Option<Throughput>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up & calibration: find how many calls fit in the warm-up window.
+    let calibration_start = Instant::now();
+    let mut calibration_runs: u64 = 0;
+    while calibration_start.elapsed() < warm_up_time {
+        let mut bencher = Bencher { samples: Vec::new(), iterations_per_sample: 1 };
+        f(&mut bencher);
+        calibration_runs += 1;
+    }
+    let per_run = warm_up_time / calibration_runs.max(1) as u32;
+
+    // Pick an iteration count so the whole measurement fits the time budget.
+    let budget_per_sample = measurement_time / sample_size.max(1) as u32;
+    let iterations_per_sample = if per_run.is_zero() {
+        1
+    } else {
+        (budget_per_sample.as_nanos() / per_run.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut bencher = Bencher { samples: Vec::new(), iterations_per_sample };
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+    }
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{label:<50} no samples recorded");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.clone();
+    sorted.sort_unstable();
+    let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>14.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>14.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} mean {mean:>12.3?}  median {median:>12.3?}{rate}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion {
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+            sample_size: 5,
+        };
+        let mut group = criterion.benchmark_group("test");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, n| {
+            b.iter_batched(|| vec![0u8; *n], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

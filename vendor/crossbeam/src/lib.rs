@@ -1,0 +1,126 @@
+//! Minimal vendored stand-in for [`crossbeam`]'s multi-consumer channels.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc` with the
+//! receiver wrapped in an `Arc<Mutex<..>>` so it can be cloned like
+//! crossbeam's. This trades a little lock overhead for API compatibility; the
+//! engine only drains channels from one thread at a time.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// The receiving half of an unbounded channel; clonable, unlike
+    /// `std::sync::mpsc::Receiver`.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner().recv_timeout(timeout)
+        }
+
+        /// Drain every message that is immediately available.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Block until the channel disconnects, yielding every message.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn channel_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let rx2 = rx.clone();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx2.try_recv().is_err());
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

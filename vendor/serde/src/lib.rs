@@ -1,0 +1,276 @@
+//! Minimal vendored stand-in for [`serde`].
+//!
+//! The build environment has no registry access, so this crate provides the
+//! slice of serde the workspace actually uses: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` and enough of a data model for
+//! `serde_json::to_string_pretty` to render derived types.
+//!
+//! Instead of serde's visitor-based `Serializer` contract, [`Serialize`]
+//! lowers values to a small JSON-shaped [`Content`] tree that `serde_json`
+//! then prints. `Deserialize` is a marker only — nothing in the workspace
+//! parses serialized data back yet; see `vendor/serde_derive` which emits an
+//! empty impl for it.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree, the target of [`Serialize`].
+///
+/// Mirrors the JSON data model; enums use serde's externally-tagged encoding
+/// (`"Variant"` or `{"Variant": ...}`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Lower `self` into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait recording that a type opted into deserialization.
+///
+/// No decoding machinery exists in this stand-in; the derive emits an empty
+/// impl so `#[derive(Deserialize)]` sites keep compiling.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty => $variant:ident as $cast:ty),+ $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as $cast)
+            }
+        }
+    )+};
+}
+
+impl_serialize_int! {
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for std::path::Path {
+    fn to_content(&self) -> Content {
+        Content::Str(self.display().to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_content(&self) -> Content {
+        self.as_path().to_content()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+/// Render a map key: JSON object keys must be strings.
+fn key_string(content: &Content) -> String {
+    match content {
+        Content::Str(s) => s.clone(),
+        Content::Bool(b) => b.to_string(),
+        Content::I64(i) => i.to_string(),
+        Content::U64(u) => u.to_string(),
+        Content::F64(f) => f.to_string(),
+        Content::Null => "null".to_string(),
+        Content::Seq(_) | Content::Map(_) => {
+            panic!("cannot use a sequence or map as a JSON object key")
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (key_string(&k.to_content()), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter().map(|(k, v)| (key_string(&k.to_content()), v.to_content())).collect(),
+        )
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impls_lower_to_expected_shapes() {
+        assert_eq!(7u32.to_content(), Content::U64(7));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!("hi".to_content(), Content::Str("hi".to_string()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+        assert_eq!(
+            vec![(1u8, 2.5f64)].to_content(),
+            Content::Seq(vec![Content::Seq(vec![Content::U64(1), Content::F64(2.5)])]),
+        );
+    }
+
+    #[test]
+    fn maps_render_string_keys_in_order() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(
+            m.to_content(),
+            Content::Map(vec![
+                ("a".to_string(), Content::U64(1)),
+                ("b".to_string(), Content::U64(2)),
+            ]),
+        );
+    }
+}

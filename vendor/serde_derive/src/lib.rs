@@ -1,0 +1,287 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! With no registry access there is no `syn`/`quote`, so this macro walks the
+//! `proc_macro::TokenStream` directly. It supports the shapes the workspace
+//! derives on: plain (non-generic) structs with named fields, tuple structs,
+//! unit structs, and enums whose variants are unit, tuple, or struct-like.
+//! `Serialize` lowers to the `serde::Content` tree; `Deserialize` is a marker
+//! and expands to an empty impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a `struct`/`enum` item.
+enum Shape {
+    UnitStruct,
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Number of fields in a tuple struct.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    let body = match &parsed.shape {
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))", f)
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| enum_arm(&parsed.name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("serde stub derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("serde stub derive: generated impl failed to parse")
+}
+
+fn enum_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{v} => ::serde::Content::Str({v:?}.to_string()),")
+        }
+        VariantKind::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_content(f0)".to_string()
+            } else {
+                let items: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{v}({binds}) => ::serde::Content::Map(vec![({v:?}.to_string(), {payload})]),",
+                binds = bindings.join(", "),
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_content({f}))"))
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                 ::serde::Content::Map(vec![{entries}]))]),",
+                binds = fields.join(", "),
+                entries = entries.join(", "),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde stub derive: generic type `{name}` is not supported; \
+             implement `serde::Serialize` by hand or extend vendor/serde_derive"
+        );
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => Parsed { name, shape: Shape::UnitStruct },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Parsed { name, shape: Shape::Struct(fields) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_top_level_fields(g.stream());
+                Parsed { name, shape: Shape::TupleStruct(count) }
+            }
+            other => panic!("serde stub derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Parsed { name, shape: Shape::Enum(parse_variants(g.stream())) }
+            }
+            other => panic!("serde stub derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Split a brace/paren group's tokens on commas that sit outside any nested
+/// angle brackets (delimiter groups arrive as single tokens already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_was_dash = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // Ignore the '>' of `->` in fn-pointer types.
+                '>' if !prev_was_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    prev_was_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_was_dash = p.as_char() == '-';
+        } else {
+            prev_was_dash = false;
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extract field names from `{ attr* vis? name: Type, ... }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            loop {
+                match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        iter.next();
+                        iter.next(); // attribute group
+                    }
+                    Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                        iter.next();
+                        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            iter.next();
+                        }
+                    }
+                    Some(TokenTree::Ident(_)) => {
+                        if let Some(TokenTree::Ident(ident)) = iter.next() {
+                            break ident.to_string();
+                        }
+                        unreachable!();
+                    }
+                    other => panic!("serde stub derive: malformed field, found {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Extract variants from an enum body, tolerating discriminants (`= expr`).
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            // Skip variant attributes.
+            while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                iter.next();
+                iter.next();
+            }
+            let name = match iter.next() {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("serde stub derive: expected variant name, found {other:?}"),
+            };
+            let kind = match iter.next() {
+                None => VariantKind::Unit,
+                // Discriminant: `Name = expr`.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde stub derive: unexpected token after variant: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}

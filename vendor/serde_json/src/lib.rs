@@ -1,0 +1,180 @@
+//! Minimal vendored stand-in for [`serde_json`]: render the vendored serde
+//! stand-in's `Content` tree as JSON text. Only serialization is provided;
+//! nothing in the workspace deserializes JSON yet.
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// Serialization error. The `Content`-tree printer is total, so this is only
+/// produced for non-finite floats, which JSON cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+/// Fails if the value contains a NaN or infinite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON with two-space indentation.
+///
+/// # Errors
+/// Fails if the value contains a NaN or infinite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some("  "), 0)?;
+    Ok(out)
+}
+
+fn write_content(
+    out: &mut String,
+    content: &Content,
+    indent: Option<&str>,
+    depth: usize,
+) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("JSON cannot represent the float {f}")));
+            }
+            out.push_str(&format_f64(*f));
+        }
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            write_bracketed(out, items.iter(), indent, depth, ('[', ']'), |out, item, ind, d| {
+                write_content(out, item, ind, d)
+            })?;
+        }
+        Content::Map(entries) => {
+            write_bracketed(
+                out,
+                entries.iter(),
+                indent,
+                depth,
+                ('{', '}'),
+                |out, (k, v), ind, d| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_content(out, v, ind, d)
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_bracketed<I, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<&str>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<&str>, usize) -> Result<(), Error>,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(unit) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(unit);
+            }
+        }
+        write_item(out, item, indent, depth + 1)?;
+    }
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+    out.push(close);
+    Ok(())
+}
+
+/// Format a float the way serde_json does: integral values keep a trailing
+/// `.0` so the value round-trips as a float.
+fn format_f64(f: f64) -> String {
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        f.to_string()
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let value = Content::Map(vec![
+            ("x".to_string(), Content::U64(7)),
+            ("ys".to_string(), Content::Seq(vec![Content::F64(1.0), Content::F64(2.5)])),
+        ]);
+        struct Wrapper(Content);
+        impl serde::Serialize for Wrapper {
+            fn to_content(&self) -> Content {
+                self.0.clone()
+            }
+        }
+        let wrapped = Wrapper(value);
+        assert_eq!(to_string(&wrapped).unwrap(), "{\"x\":7,\"ys\":[1.0,2.5]}");
+        let pretty = to_string_pretty(&wrapped).unwrap();
+        assert!(pretty.contains("\"x\": 7"));
+        assert!(pretty.contains("  \"ys\": [\n    1.0,\n    2.5\n  ]"));
+    }
+
+    #[test]
+    fn escapes_and_errors() {
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+}
