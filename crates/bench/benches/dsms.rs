@@ -67,12 +67,12 @@ fn bench_dsms(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut engine = StreamEngine::new();
+                    let engine = StreamEngine::new();
                     engine.register_stream("weather", schema.clone()).unwrap();
                     engine.deploy(&graph).unwrap();
                     engine
                 },
-                |mut engine| {
+                |engine| {
                     for t in &tuples {
                         engine.push("weather", t.clone()).unwrap();
                     }
@@ -91,7 +91,7 @@ fn bench_dsms(c: &mut Criterion) {
         .sample_size(20);
     let full = graphs().pop().unwrap().1;
     group.bench_function("deploy_withdraw", |b| {
-        let mut engine = StreamEngine::new();
+        let engine = StreamEngine::new();
         engine.register_stream("weather", schema.clone()).unwrap();
         b.iter(|| {
             let d = engine.deploy(&full).unwrap();

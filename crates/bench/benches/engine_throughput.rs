@@ -1,0 +1,196 @@
+//! Concurrent engine throughput: the PR-2 hot-path claims.
+//!
+//! Three groups back the numbers recorded in `BENCH_pr2_throughput.json`:
+//!
+//! * `fanout` — one stream feeding many deployments at once (the zero-copy
+//!   `Arc`-backed tuple fan-out);
+//! * `ingest` — batched vs. single-tuple pushes, and multi-threaded ingest
+//!   into distinct streams (the per-stream shards) vs. the old
+//!   global-`Mutex` architecture simulated by wrapping the engine in one
+//!   lock;
+//! * `pdp` — cold (linear-scan), indexed, and cached decision latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exacml_bench::legacy::LegacyEngine;
+use exacml_dsms::{QueryGraph, QueryGraphBuilder, Schema, StreamEngine, Tuple, Value};
+use exacml_xacml::{Pdp, PolicyStore, Request};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn weather_tuples(n: usize) -> (Schema, Vec<Tuple>) {
+    let schema = Schema::weather_example();
+    let shared = schema.clone().shared();
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::builder_shared(&shared)
+                .set("samplingtime", Value::Timestamp(i as i64 * 30_000))
+                .set("rainrate", (i % 100) as f64)
+                .set("windspeed", (i % 40) as f64)
+                .finish_with_defaults()
+        })
+        .collect();
+    (schema, tuples)
+}
+
+fn filter_graph(stream: &str, threshold: u32) -> QueryGraph {
+    QueryGraphBuilder::on_stream(stream)
+        .filter_str(&format!("rainrate > {threshold}"))
+        .unwrap()
+        .build()
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    const BATCH: usize = 1000;
+    let (schema, tuples) = weather_tuples(BATCH);
+
+    let mut group = c.benchmark_group("engine_fanout");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for deployments in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("deployments", deployments),
+            &deployments,
+            |b, &n| {
+                let engine = StreamEngine::new();
+                engine.register_stream("weather", schema.clone()).unwrap();
+                let receivers: Vec<_> = (0..n)
+                    .map(|i| {
+                        let d = engine.deploy(&filter_graph("weather", (i % 90) as u32)).unwrap();
+                        engine.subscribe(&d.output_handle).unwrap()
+                    })
+                    .collect();
+                b.iter(|| {
+                    engine.push_batch("weather", tuples.iter().cloned()).unwrap();
+                    for rx in &receivers {
+                        rx.try_iter().for_each(drop);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    const BATCH: usize = 1000;
+    let (schema, tuples) = weather_tuples(BATCH);
+
+    let mut group = c.benchmark_group("engine_ingest");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Single-tuple pushes vs. one batched push on an otherwise idle engine.
+    let engine = StreamEngine::new();
+    engine.register_stream("weather", schema.clone()).unwrap();
+    engine.deploy(&filter_graph("weather", 50)).unwrap();
+    group.bench_function("single_push", |b| {
+        b.iter(|| {
+            for t in &tuples {
+                engine.push("weather", t.clone()).unwrap();
+            }
+        });
+    });
+    group.bench_function("push_batch", |b| {
+        b.iter(|| engine.push_batch("weather", tuples.iter().cloned()).unwrap());
+    });
+
+    // Multi-threaded ingest into distinct streams: sharded engine vs. the
+    // old single-global-lock architecture.
+    for threads in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements((BATCH * threads) as u64));
+        group.bench_with_input(BenchmarkId::new("sharded_threads", threads), &threads, |b, &n| {
+            let engine = Arc::new(StreamEngine::new());
+            for i in 0..n {
+                engine.register_stream(&format!("s{i}"), schema.clone()).unwrap();
+                engine.deploy(&filter_graph(&format!("s{i}"), 50)).unwrap();
+            }
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for i in 0..n {
+                        let engine = Arc::clone(&engine);
+                        let tuples = &tuples;
+                        scope.spawn(move || {
+                            engine.push_batch(&format!("s{i}"), tuples.iter().cloned()).unwrap();
+                        });
+                    }
+                });
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("global_lock_threads", threads),
+            &threads,
+            |b, &n| {
+                let engine = Arc::new(Mutex::new(LegacyEngine::new()));
+                {
+                    let mut engine = engine.lock();
+                    for i in 0..n {
+                        engine.register_stream(&format!("s{i}"), schema.clone());
+                        engine.deploy(&filter_graph(&format!("s{i}"), 50)).unwrap();
+                    }
+                }
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for i in 0..n {
+                            let engine = Arc::clone(&engine);
+                            let tuples = &tuples;
+                            scope.spawn(move || {
+                                let stream = format!("s{i}");
+                                for t in tuples {
+                                    engine.lock().push(&stream, t.clone()).unwrap();
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pdp_paths(c: &mut Criterion) {
+    use exacml_plus::StreamPolicyBuilder;
+    let store = Arc::new(PolicyStore::new());
+    for i in 0..1000 {
+        let policy = StreamPolicyBuilder::new(format!("p{i}"), "weather")
+            .subject(format!("user{i}"))
+            .filter("rainrate > 5")
+            .build();
+        store.add(policy).unwrap();
+    }
+    let pdp = Pdp::new(store);
+    let request = Request::subscribe("user500", "weather");
+
+    let mut group = c.benchmark_group("pdp_paths");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    group.bench_function("linear_1000", |b| {
+        b.iter(|| {
+            assert!(pdp.evaluate_linear(&request).is_permit());
+        });
+    });
+    group.bench_function("indexed_1000", |b| {
+        b.iter(|| {
+            assert!(pdp.evaluate_uncached(&request).is_permit());
+        });
+    });
+    group.bench_function("cached_1000", |b| {
+        assert!(pdp.evaluate(&request).is_permit()); // warm the cache
+        b.iter(|| {
+            assert!(pdp.evaluate(&request).is_permit());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_ingest, bench_pdp_paths);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! A faithful reproduction of the stream engine's **pre-PR-2 hot path**,
+//! kept as the baseline for the `engine_throughput` measurements.
+//!
+//! Before the concurrency PR the engine (a) lived behind one global mutex in
+//! `DataServer`, (b) compared the tuple's schema against the stream's by
+//! deep equality on every push, (c) cloned the deployment id list per push,
+//! and (d) ran the *interpreted* operators — every filter leaf, map
+//! attribute and aggregate spec resolved its attribute by name
+//! (`Schema::index_of`, a case-insensitive linear scan) for every tuple.
+//! This module reproduces exactly that per-push work using the public
+//! operator API, so `BENCH_pr2_throughput.json` compares the shipped sharded
+//! engine against what the repo actually did before, not against a strawman.
+
+use exacml_dsms::window::SlidingBuffer;
+use exacml_dsms::{DsmsError, Operator, QueryGraph, Schema, Tuple};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct LegacyStage {
+    operator: Operator,
+    output_schema: Arc<Schema>,
+    window: Option<SlidingBuffer>,
+}
+
+struct LegacyDeployment {
+    stages: Vec<LegacyStage>,
+    emitted: u64,
+}
+
+impl LegacyDeployment {
+    /// The seed's `DeploymentState::process`: a fresh `Vec` per stage and
+    /// interpreted (name-resolving) operator application per tuple.
+    fn process(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let mut current = vec![tuple];
+        for stage in &mut self.stages {
+            if current.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(current.len());
+            for t in current {
+                match &stage.operator {
+                    Operator::Filter(op) => {
+                        if let Some(t) = op.apply(t) {
+                            next.push(t);
+                        }
+                    }
+                    Operator::Map(op) => next.push(op.apply(&t, &stage.output_schema)),
+                    Operator::Aggregate(op) => {
+                        let buffer = stage
+                            .window
+                            .as_mut()
+                            .expect("aggregate stages always carry a window buffer");
+                        next.extend(op.apply(buffer, t, &stage.output_schema));
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+}
+
+/// The pre-PR engine shape: single-threaded (`&mut self`), meant to be
+/// wrapped in a `Mutex` by its caller exactly as `DataServer` used to do.
+#[derive(Default)]
+pub struct LegacyEngine {
+    streams: HashMap<String, Arc<Schema>>,
+    deployments: HashMap<u64, LegacyDeployment>,
+    by_stream: HashMap<String, Vec<u64>>,
+    next_id: u64,
+}
+
+impl LegacyEngine {
+    /// An empty legacy engine.
+    #[must_use]
+    pub fn new() -> Self {
+        LegacyEngine::default()
+    }
+
+    /// Register an input stream.
+    pub fn register_stream(&mut self, name: &str, schema: Schema) {
+        self.streams.insert(name.to_string(), schema.shared());
+        self.by_stream.entry(name.to_string()).or_default();
+    }
+
+    /// Deploy a query graph (validation as the seed did it).
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or the graph invalid.
+    pub fn deploy(&mut self, graph: &QueryGraph) -> Result<u64, DsmsError> {
+        let input_schema = self
+            .streams
+            .get(&graph.stream)
+            .ok_or_else(|| DsmsError::UnknownStream(graph.stream.clone()))?;
+        let mut stages = Vec::with_capacity(graph.nodes.len());
+        let mut current: Schema = (**input_schema).clone();
+        for node in &graph.nodes {
+            let out = node.operator.output_schema(&current)?;
+            let window = match &node.operator {
+                Operator::Aggregate(op) => Some(SlidingBuffer::new(op.window)),
+                _ => None,
+            };
+            stages.push(LegacyStage {
+                operator: node.operator.clone(),
+                output_schema: out.clone().shared(),
+                window,
+            });
+            current = out;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_stream.entry(graph.stream.clone()).or_default().push(id);
+        self.deployments.insert(id, LegacyDeployment { stages, emitted: 0 });
+        Ok(id)
+    }
+
+    /// The seed's `StreamEngine::push`: deep schema comparison, a cloned
+    /// deployment-id list, and interpreted operator chains.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or the tuple does not match its
+    /// schema.
+    pub fn push(&mut self, stream: &str, tuple: Tuple) -> Result<usize, DsmsError> {
+        let schema = self
+            .streams
+            .get(stream)
+            .cloned()
+            .ok_or_else(|| DsmsError::UnknownStream(stream.to_string()))?;
+        if tuple.schema().as_ref() != schema.as_ref() {
+            return Err(DsmsError::SchemaMismatch {
+                stream: stream.to_string(),
+                detail: "tuple schema differs from stream schema".to_string(),
+            });
+        }
+        let ids = self.by_stream.get(stream).cloned().unwrap_or_default();
+        let mut emitted = 0usize;
+        for id in ids {
+            let Some(state) = self.deployments.get_mut(&id) else { continue };
+            let outputs = state.process(tuple.clone());
+            state.emitted += outputs.len() as u64;
+            emitted += outputs.len();
+        }
+        Ok(emitted)
+    }
+
+    /// Total derived tuples emitted by a deployment.
+    #[must_use]
+    pub fn emitted_by(&self, id: u64) -> Option<u64> {
+        self.deployments.get(&id).map(|d| d.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacml_dsms::{QueryGraphBuilder, StreamEngine, Value};
+
+    /// The baseline must agree with the shipped engine on what is emitted —
+    /// it is the same semantics, only the slower implementation.
+    #[test]
+    fn legacy_engine_agrees_with_sharded_engine() {
+        let schema = Schema::weather_example();
+        let graph = QueryGraphBuilder::on_stream("weather")
+            .filter_str("rainrate > 50")
+            .unwrap()
+            .map(["samplingtime", "rainrate"])
+            .build();
+
+        let mut legacy = LegacyEngine::new();
+        legacy.register_stream("weather", schema.clone());
+        let legacy_id = legacy.deploy(&graph).unwrap();
+
+        let engine = StreamEngine::new();
+        engine.register_stream("weather", schema.clone()).unwrap();
+        let d = engine.deploy(&graph).unwrap();
+
+        for i in 0..200 {
+            let t = Tuple::builder(&schema)
+                .set("samplingtime", Value::Timestamp(i))
+                .set("rainrate", (i % 100) as f64)
+                .finish_with_defaults();
+            let a = legacy.push("weather", t.clone()).unwrap();
+            let b = engine.push("weather", t).unwrap();
+            assert_eq!(a, b, "divergence at tuple {i}");
+        }
+        assert_eq!(legacy.emitted_by(legacy_id), engine.emitted_by(d.id));
+    }
+}

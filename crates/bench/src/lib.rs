@@ -19,6 +19,7 @@
 //! `--json <path>` to dump the raw series for EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod legacy;
 pub mod report;
 
 pub use experiments::{

@@ -104,7 +104,7 @@ pub fn simulate_attack(values: &[f64], base_size: u64, step: u64) -> AttackOutco
         ("samplingtime", exacml_dsms::DataType::Timestamp),
         ("a", exacml_dsms::DataType::Double),
     ]);
-    let mut engine = StreamEngine::new();
+    let engine = StreamEngine::new();
     engine.register_stream("s", schema.clone()).expect("stream registration");
 
     let mut receivers = Vec::new();

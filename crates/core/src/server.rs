@@ -95,7 +95,11 @@ pub struct DataServer {
     config: ServerConfig,
     store: Arc<PolicyStore>,
     pdp: Pdp,
-    engine: Mutex<StreamEngine>,
+    /// The back-end DSMS. The engine is internally synchronized (sharded by
+    /// stream), so the server shares it without a wrapping lock — feeds to
+    /// different streams run concurrently with each other and with the
+    /// request workflow.
+    engine: Arc<StreamEngine>,
     graphs: Mutex<QueryGraphManager>,
     guard: Mutex<AccessGuard>,
     rng: Mutex<StdRng>,
@@ -114,7 +118,7 @@ impl DataServer {
             config,
             store,
             pdp,
-            engine: Mutex::new(StreamEngine::new()),
+            engine: Arc::new(StreamEngine::new()),
             graphs: Mutex::new(QueryGraphManager::new()),
             guard: Mutex::new(AccessGuard::new()),
             rng: Mutex::new(rng),
@@ -147,6 +151,14 @@ impl DataServer {
         &self.store
     }
 
+    /// The back-end stream engine. Shared: the engine is internally
+    /// synchronized, so data-owner feeds can push into it directly and
+    /// concurrently with the request workflow.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<StreamEngine> {
+        &self.engine
+    }
+
     /// A snapshot of the audit trail (accountability hook — the paper's
     /// stated next challenge beyond the trusted-cloud model).
     #[must_use]
@@ -167,7 +179,7 @@ impl DataServer {
     /// # Errors
     /// Fails when the stream name is taken or the schema invalid.
     pub fn register_stream(&self, name: &str, schema: Schema) -> Result<(), ExacmlError> {
-        self.engine.lock().register_stream(name, schema).map_err(ExacmlError::from)
+        self.engine.register_stream(name, schema).map_err(ExacmlError::from)
     }
 
     /// Push one source tuple into a registered stream (the data owner's feed).
@@ -175,7 +187,20 @@ impl DataServer {
     /// # Errors
     /// Fails when the stream is unknown or the tuple malformed.
     pub fn push(&self, stream: &str, tuple: Tuple) -> Result<usize, ExacmlError> {
-        self.engine.lock().push(stream, tuple).map_err(ExacmlError::from)
+        self.engine.push(stream, tuple).map_err(ExacmlError::from)
+    }
+
+    /// Push a batch of source tuples into a registered stream, amortizing
+    /// the engine's shard lookup and locking over the whole batch.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or any tuple malformed.
+    pub fn push_batch(
+        &self,
+        stream: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, ExacmlError> {
+        self.engine.push_batch(stream, tuples).map_err(ExacmlError::from)
     }
 
     /// Subscribe to the derived tuples behind a granted handle.
@@ -186,13 +211,13 @@ impl DataServer {
         &self,
         handle: &StreamHandle,
     ) -> Result<crossbeam::channel::Receiver<Tuple>, ExacmlError> {
-        self.engine.lock().subscribe(handle).map_err(ExacmlError::from)
+        self.engine.subscribe(handle).map_err(ExacmlError::from)
     }
 
     /// Whether a handle still points at a live deployment.
     #[must_use]
     pub fn handle_is_live(&self, handle: &StreamHandle) -> bool {
-        self.engine.lock().catalog().handle_is_live(handle)
+        self.engine.catalog().handle_is_live(handle)
     }
 
     // --- policy management (Section 3.3) ------------------------------------
@@ -280,13 +305,10 @@ impl DataServer {
     fn withdraw_policy_graphs(&self, policy_id: &str) -> usize {
         let evicted = self.graphs.lock().evict_policy(policy_id);
         let ids: Vec<DeploymentId> = evicted.iter().map(|t| t.deployment).collect();
-        {
-            let mut engine = self.engine.lock();
-            for id in &ids {
-                // Races with explicit releases are benign: the graph may
-                // already be gone.
-                let _ = engine.withdraw(*id);
-            }
+        for id in &ids {
+            // Races with explicit releases are benign: the graph may
+            // already be gone.
+            let _ = self.engine.withdraw(*id);
         }
         self.guard.lock().release_deployments(&ids);
         ids.len()
@@ -410,7 +432,7 @@ impl DataServer {
             GuardOutcome::Allowed => {}
             GuardOutcome::Reuse { handle, deployment } => {
                 // Identical re-request: hand back the existing live handle.
-                let output_schema = self.engine.lock().output_schema(&handle)?;
+                let output_schema = self.engine.output_schema(&handle)?;
                 let total = started.elapsed();
                 return Ok(AccessResponse {
                     handle,
@@ -452,7 +474,7 @@ impl DataServer {
         {
             return Err(ExacmlError::ConflictDetected { warnings: outcome.warnings });
         }
-        let input_schema = self.engine.lock().stream_schema(&stream)?;
+        let input_schema = self.engine.stream_schema(&stream)?;
         let script = streamsql::generate(&outcome.graph, &input_schema);
         let query_graph_time = graph_started.elapsed();
 
@@ -468,7 +490,7 @@ impl DataServer {
             )
         };
         let dsms_started = Instant::now();
-        let deployment = self.engine.lock().deploy(&outcome.graph)?;
+        let deployment = self.engine.deploy(&outcome.graph)?;
         let dsms_time = dsms_started.elapsed();
 
         self.graphs.lock().track(TrackedGraph {
@@ -513,7 +535,7 @@ impl DataServer {
             return false;
         };
         self.graphs.lock().untrack(deployment);
-        let _ = self.engine.lock().withdraw(deployment);
+        let _ = self.engine.withdraw(deployment);
         self.audit.lock().record(
             AuditEventKind::AccessReleased,
             Some(subject),
@@ -550,11 +572,16 @@ impl DataServer {
         };
         let dsms_started = Instant::now();
         let deployment = {
-            let mut engine = self.engine.lock();
-            if !engine.catalog().contains(&parsed.stream) {
-                engine.register_stream(&parsed.stream, parsed.schema.clone())?;
+            if !self.engine.catalog().contains(&parsed.stream) {
+                // A concurrent direct_deploy may have registered the stream
+                // between the check and the call; losing that race is fine —
+                // the stream exists either way.
+                match self.engine.register_stream(&parsed.stream, parsed.schema.clone()) {
+                    Ok(()) | Err(exacml_dsms::DsmsError::StreamAlreadyExists(_)) => {}
+                    Err(other) => return Err(other.into()),
+                }
             }
-            engine.deploy(&parsed.graph)?
+            self.engine.deploy(&parsed.graph)?
         };
         let dsms_time = dsms_started.elapsed();
         let total = started.elapsed() + network;
@@ -573,13 +600,13 @@ impl DataServer {
     /// Number of live deployments on the DSMS.
     #[must_use]
     pub fn live_deployments(&self) -> usize {
-        self.engine.lock().deployment_count()
+        self.engine.deployment_count()
     }
 
     /// Engine-level counters.
     #[must_use]
     pub fn engine_stats(&self) -> exacml_dsms::EngineStats {
-        self.engine.lock().stats()
+        self.engine.stats()
     }
 }
 

@@ -7,17 +7,36 @@
 //! and withdraws deployments when the policy layer revokes them
 //! (Section 3.3 — "whenever a policy has been removed or modified, all query
 //! graphs that are spawned by the policy are immediately withdrawn").
+//!
+//! # Concurrency
+//!
+//! The engine is internally synchronized and every operation takes `&self`:
+//! callers share one engine behind an `Arc` with no external lock. State is
+//! **sharded by input stream** — each registered stream owns a [`Shard`]
+//! whose deployments are protected by their own mutex — so pushes to
+//! different streams proceed in parallel and only pushes to the *same*
+//! stream serialize (they must: window buffers are order-sensitive).
+//! Cross-shard indexes (handle → deployment, deployment → stream) live in
+//! `RwLock`ed maps that pushes only ever read-lock briefly, and counters are
+//! atomics. [`StreamEngine::push_batch`] amortizes the shard lookup and lock
+//! acquisition over a whole batch of tuples.
+//!
+//! Per-tuple work is allocation-light: operator chains are compiled at
+//! deploy time ([`crate::compiled`]) so attribute positions are resolved
+//! once, and [`Tuple`] rows are `Arc`-backed so fan-out to N deployments and
+//! M subscribers costs reference-count bumps, not copies.
 
 use crate::catalog::{StreamCatalog, StreamHandle};
+use crate::compiled::CompiledStage;
 use crate::error::DsmsError;
 use crate::graph::QueryGraph;
-use crate::ops::Operator;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use crate::window::SlidingBuffer;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of one deployed query graph.
@@ -54,64 +73,83 @@ pub struct EngineStats {
     pub deployments_withdrawn: u64,
 }
 
-/// Per-stage runtime state of a deployment.
-struct Stage {
-    operator: Operator,
-    output_schema: Arc<Schema>,
-    window: Option<SlidingBuffer>,
-}
-
 /// Runtime state of one deployed query graph.
 struct DeploymentState {
-    graph: QueryGraph,
-    stages: Vec<Stage>,
+    id: DeploymentId,
+    stages: Vec<CompiledStage>,
     output_handle: StreamHandle,
     output_schema: Arc<Schema>,
     subscribers: Vec<Sender<Tuple>>,
     emitted: u64,
+    /// Reusable stage buffers: the per-tuple working set allocates nothing
+    /// once the deployment has warmed up.
+    scratch_current: Vec<Tuple>,
+    scratch_next: Vec<Tuple>,
 }
 
 impl DeploymentState {
-    /// Push one source tuple through the operator chain; returns the derived
-    /// tuples emitted by the final stage.
-    fn process(&mut self, tuple: Tuple) -> Vec<Tuple> {
-        let mut current = vec![tuple];
+    /// Push one source tuple through the compiled chain, deliver the derived
+    /// tuples to the live subscribers, and return how many were emitted.
+    ///
+    /// Disconnected receivers are dropped *before* any tuple is cloned for
+    /// them, and the last subscriber receives each tuple by move rather than
+    /// by clone.
+    fn process_and_fan_out(&mut self, tuple: &Tuple) -> usize {
+        let mut current = std::mem::take(&mut self.scratch_current);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        current.clear();
+        next.clear();
+        current.push(tuple.clone());
         for stage in &mut self.stages {
             if current.is_empty() {
                 break;
             }
-            let mut next = Vec::with_capacity(current.len());
-            for t in current {
-                match &stage.operator {
-                    Operator::Filter(op) => {
-                        if let Some(t) = op.apply(t) {
-                            next.push(t);
-                        }
+            next.clear();
+            for t in &current {
+                stage.process(t, &mut next);
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        let emitted = current.len();
+        self.emitted += emitted as u64;
+
+        if emitted > 0 {
+            self.subscribers.retain(|tx| !tx.is_disconnected());
+            if let Some(fan_out) = self.subscribers.len().checked_sub(1) {
+                for out in current.drain(..) {
+                    for tx in &self.subscribers[..fan_out] {
+                        let _ = tx.send(out.clone());
                     }
-                    Operator::Map(op) => next.push(op.apply(&t, &stage.output_schema)),
-                    Operator::Aggregate(op) => {
-                        let buffer = stage
-                            .window
-                            .as_mut()
-                            .expect("aggregate stages always carry a window buffer");
-                        next.extend(op.apply(buffer, t, &stage.output_schema));
-                    }
+                    let _ = self.subscribers[fan_out].send(out);
                 }
             }
-            current = next;
         }
-        current
+        self.scratch_current = current;
+        self.scratch_next = next;
+        emitted
     }
 }
 
-/// The Aurora-model continuous query engine.
+/// Per-stream shard: the stream's schema plus the deployments attached to
+/// it, in deployment order.
+struct Shard {
+    schema: Arc<Schema>,
+    deployments: Mutex<Vec<DeploymentState>>,
+}
+
+/// The Aurora-model continuous query engine (see the module docs for the
+/// sharded locking structure).
 pub struct StreamEngine {
     catalog: StreamCatalog,
-    deployments: HashMap<DeploymentId, DeploymentState>,
-    by_stream: HashMap<String, Vec<DeploymentId>>,
-    by_handle: HashMap<StreamHandle, DeploymentId>,
-    next_id: u64,
-    stats: EngineStats,
+    shards: RwLock<HashMap<String, Arc<Shard>>>,
+    /// Deployment → input stream, the authority on deployment liveness.
+    routes: RwLock<HashMap<DeploymentId, String>>,
+    by_handle: RwLock<HashMap<StreamHandle, DeploymentId>>,
+    next_id: AtomicU64,
+    tuples_ingested: AtomicU64,
+    tuples_emitted: AtomicU64,
+    deployments_created: AtomicU64,
+    deployments_withdrawn: AtomicU64,
 }
 
 impl Default for StreamEngine {
@@ -132,11 +170,14 @@ impl StreamEngine {
     pub fn with_host(host: &str) -> Self {
         StreamEngine {
             catalog: StreamCatalog::new(host),
-            deployments: HashMap::new(),
-            by_stream: HashMap::new(),
-            by_handle: HashMap::new(),
-            next_id: 0,
-            stats: EngineStats::default(),
+            shards: RwLock::new(HashMap::new()),
+            routes: RwLock::new(HashMap::new()),
+            by_handle: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            tuples_ingested: AtomicU64::new(0),
+            tuples_emitted: AtomicU64::new(0),
+            deployments_created: AtomicU64::new(0),
+            deployments_withdrawn: AtomicU64::new(0),
         }
     }
 
@@ -149,16 +190,24 @@ impl StreamEngine {
     /// Engine-wide counters.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            tuples_ingested: self.tuples_ingested.load(Ordering::Relaxed),
+            tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
+            deployments_created: self.deployments_created.load(Ordering::Relaxed),
+            deployments_withdrawn: self.deployments_withdrawn.load(Ordering::Relaxed),
+        }
     }
 
     /// Register an input stream.
     ///
     /// # Errors
     /// Fails when the name is taken or the schema invalid.
-    pub fn register_stream(&mut self, name: &str, schema: Schema) -> Result<(), DsmsError> {
-        self.catalog.register(name, schema)?;
-        self.by_stream.entry(name.to_string()).or_default();
+    pub fn register_stream(&self, name: &str, schema: Schema) -> Result<(), DsmsError> {
+        let shared = self.catalog.register(name, schema)?;
+        self.shards.write().insert(
+            name.to_string(),
+            Arc::new(Shard { schema: shared, deployments: Mutex::new(Vec::new()) }),
+        );
         Ok(())
     }
 
@@ -170,49 +219,55 @@ impl StreamEngine {
         self.catalog.schema_of(name)
     }
 
+    /// The shard of a registered stream.
+    fn shard(&self, stream: &str) -> Result<Arc<Shard>, DsmsError> {
+        self.shards
+            .read()
+            .get(stream)
+            .cloned()
+            .ok_or_else(|| DsmsError::UnknownStream(stream.to_string()))
+    }
+
     /// Deploy a query graph. Validates the graph against the input stream's
-    /// schema, allocates the runtime state (window buffers) and mints an
-    /// output-stream handle.
+    /// schema, compiles the operator chain (resolving attribute names to
+    /// value-row positions once) and mints an output-stream handle.
     ///
     /// # Errors
     /// Fails when the input stream is unknown or the graph invalid.
-    pub fn deploy(&mut self, graph: &QueryGraph) -> Result<Deployment, DsmsError> {
-        let input_schema = self.catalog.schema_of(&graph.stream)?;
+    pub fn deploy(&self, graph: &QueryGraph) -> Result<Deployment, DsmsError> {
+        let shard = self.shard(&graph.stream)?;
 
-        // Validate the chain and record every intermediate schema.
+        // Validate the chain, record every intermediate schema, compile each
+        // operator against its input schema, then fuse adjacent stages
+        // (map→map, map→aggregate) so the hot path skips intermediate rows.
         let mut stages = Vec::with_capacity(graph.nodes.len());
-        let mut current: Schema = (*input_schema).clone();
+        let mut current: Schema = (*shard.schema).clone();
         for node in &graph.nodes {
             let out = node.operator.output_schema(&current)?;
-            let window = match &node.operator {
-                Operator::Aggregate(op) => Some(SlidingBuffer::new(op.window)),
-                _ => None,
-            };
-            stages.push(Stage {
-                operator: node.operator.clone(),
-                output_schema: out.clone().shared(),
-                window,
-            });
+            let out_shared = out.clone().shared();
+            stages.push(CompiledStage::compile(&node.operator, &current, out_shared));
             current = out;
         }
+        let stages = crate::compiled::fuse_stages(stages);
         let output_schema = current.shared();
 
-        let id = DeploymentId(self.next_id);
-        self.next_id += 1;
+        let id = DeploymentId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let output_handle = self.catalog.mint_handle(format!("{id}"));
 
         let state = DeploymentState {
-            graph: graph.clone(),
+            id,
             stages,
             output_handle: output_handle.clone(),
             output_schema: Arc::clone(&output_schema),
             subscribers: Vec::new(),
             emitted: 0,
+            scratch_current: Vec::new(),
+            scratch_next: Vec::new(),
         };
-        self.by_stream.entry(graph.stream.clone()).or_default().push(id);
-        self.by_handle.insert(output_handle.clone(), id);
-        self.deployments.insert(id, state);
-        self.stats.deployments_created += 1;
+        self.routes.write().insert(id, graph.stream.clone());
+        self.by_handle.write().insert(output_handle.clone(), id);
+        shard.deployments.lock().push(state);
+        self.deployments_created.fetch_add(1, Ordering::Relaxed);
 
         Ok(Deployment { id, output_handle, output_schema })
     }
@@ -222,17 +277,24 @@ impl StreamEngine {
     ///
     /// # Errors
     /// Fails when the deployment is unknown.
-    pub fn withdraw(&mut self, id: DeploymentId) -> Result<(), DsmsError> {
-        let state = self
-            .deployments
+    pub fn withdraw(&self, id: DeploymentId) -> Result<(), DsmsError> {
+        let stream = self
+            .routes
+            .write()
             .remove(&id)
             .ok_or_else(|| DsmsError::UnknownHandle(format!("{id}")))?;
+        let shard = self.shard(&stream)?;
+        let state = {
+            let mut deployments = shard.deployments.lock();
+            let index = deployments
+                .iter()
+                .position(|d| d.id == id)
+                .expect("routes and shard deployments are kept consistent");
+            deployments.remove(index)
+        };
         self.catalog.release_handle(&state.output_handle);
-        self.by_handle.remove(&state.output_handle);
-        if let Some(list) = self.by_stream.get_mut(&state.graph.stream) {
-            list.retain(|d| *d != id);
-        }
-        self.stats.deployments_withdrawn += 1;
+        self.by_handle.write().remove(&state.output_handle);
+        self.deployments_withdrawn.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -240,9 +302,10 @@ impl StreamEngine {
     ///
     /// # Errors
     /// Fails when the handle is unknown.
-    pub fn withdraw_handle(&mut self, handle: &StreamHandle) -> Result<(), DsmsError> {
+    pub fn withdraw_handle(&self, handle: &StreamHandle) -> Result<(), DsmsError> {
         let id = self
             .by_handle
+            .read()
             .get(handle)
             .copied()
             .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
@@ -253,18 +316,15 @@ impl StreamEngine {
     ///
     /// # Errors
     /// Fails when the handle does not correspond to a live deployment.
-    pub fn subscribe(&mut self, handle: &StreamHandle) -> Result<Receiver<Tuple>, DsmsError> {
-        let id = self
-            .by_handle
-            .get(handle)
-            .copied()
-            .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
+    pub fn subscribe(&self, handle: &StreamHandle) -> Result<Receiver<Tuple>, DsmsError> {
+        let unknown = || DsmsError::UnknownHandle(handle.uri().to_string());
+        let id = self.by_handle.read().get(handle).copied().ok_or_else(unknown)?;
+        let stream = self.routes.read().get(&id).cloned().ok_or_else(unknown)?;
+        let shard = self.shard(&stream)?;
+        let mut deployments = shard.deployments.lock();
+        let state = deployments.iter_mut().find(|d| d.id == id).ok_or_else(unknown)?;
         let (tx, rx) = unbounded();
-        self.deployments
-            .get_mut(&id)
-            .expect("by_handle and deployments are kept consistent")
-            .subscribers
-            .push(tx);
+        state.subscribers.push(tx);
         Ok(rx)
     }
 
@@ -273,65 +333,121 @@ impl StreamEngine {
     /// # Errors
     /// Fails when the handle is unknown.
     pub fn output_schema(&self, handle: &StreamHandle) -> Result<Arc<Schema>, DsmsError> {
-        let id = self
-            .by_handle
-            .get(handle)
-            .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
-        Ok(Arc::clone(&self.deployments[id].output_schema))
+        let unknown = || DsmsError::UnknownHandle(handle.uri().to_string());
+        let id = self.by_handle.read().get(handle).copied().ok_or_else(unknown)?;
+        let stream = self.routes.read().get(&id).cloned().ok_or_else(unknown)?;
+        let shard = self.shard(&stream)?;
+        let deployments = shard.deployments.lock();
+        let state = deployments.iter().find(|d| d.id == id).ok_or_else(unknown)?;
+        Ok(Arc::clone(&state.output_schema))
+    }
+
+    /// Check one tuple against the shard's schema.
+    fn check_schema(shard: &Shard, stream: &str, tuple: &Tuple) -> Result<(), DsmsError> {
+        if Arc::ptr_eq(tuple.schema(), &shard.schema)
+            || tuple.schema().as_ref() == shard.schema.as_ref()
+        {
+            return Ok(());
+        }
+        Err(DsmsError::SchemaMismatch {
+            stream: stream.to_string(),
+            detail: format!(
+                "tuple schema {} differs from stream schema {}",
+                tuple.schema(),
+                shard.schema
+            ),
+        })
+    }
+
+    /// Run a slice of tuples through every deployment of a locked shard;
+    /// returns the number of derived tuples emitted.
+    fn process_locked(&self, deployments: &mut [DeploymentState], tuples: &[Tuple]) -> usize {
+        let mut emitted = 0usize;
+        for state in deployments {
+            for tuple in tuples {
+                emitted += state.process_and_fan_out(tuple);
+            }
+        }
+        self.tuples_ingested.fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        self.tuples_emitted.fetch_add(emitted as u64, Ordering::Relaxed);
+        emitted
     }
 
     /// Push one source tuple into a registered stream. The tuple is run
     /// through every deployment on that stream; derived tuples are delivered
     /// to subscribers. Returns the total number of derived tuples emitted.
     ///
+    /// Pushes to *different* streams run concurrently; pushes to the same
+    /// stream serialize on the stream's shard. When feeding many tuples at
+    /// once, prefer [`StreamEngine::push_batch`].
+    ///
     /// # Errors
     /// Fails when the stream is unknown or the tuple does not match its
     /// schema.
-    pub fn push(&mut self, stream: &str, tuple: Tuple) -> Result<usize, DsmsError> {
-        let schema = self.catalog.schema_of(stream)?;
-        if tuple.schema().as_ref() != schema.as_ref() {
-            return Err(DsmsError::SchemaMismatch {
-                stream: stream.to_string(),
-                detail: format!(
-                    "tuple schema {} differs from stream schema {}",
-                    tuple.schema(),
-                    schema
-                ),
-            });
-        }
-        self.stats.tuples_ingested += 1;
+    pub fn push(&self, stream: &str, tuple: Tuple) -> Result<usize, DsmsError> {
+        let shard = self.shard(stream)?;
+        Self::check_schema(&shard, stream, &tuple)?;
+        let mut deployments = shard.deployments.lock();
+        Ok(self.process_locked(&mut deployments, std::slice::from_ref(&tuple)))
+    }
 
-        let ids = self.by_stream.get(stream).cloned().unwrap_or_default();
-        let mut emitted = 0usize;
-        for id in ids {
-            let Some(state) = self.deployments.get_mut(&id) else { continue };
-            let outputs = state.process(tuple.clone());
-            state.emitted += outputs.len() as u64;
-            emitted += outputs.len();
-            for out in outputs {
-                state.subscribers.retain(|tx| tx.send(out.clone()).is_ok());
+    /// Push a batch of source tuples into a registered stream, resolving the
+    /// shard and taking its lock once for the whole batch. The batch is
+    /// validated up front: on a schema mismatch nothing is ingested.
+    /// Returns the total number of derived tuples emitted.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or any tuple does not match its
+    /// schema.
+    pub fn push_batch(
+        &self,
+        stream: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, DsmsError> {
+        let shard = self.shard(stream)?;
+        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        // Batches usually share one `Arc<Schema>` (builders reuse it); after
+        // the first deep check, pointer-identical schemas are skipped.
+        let mut validated: Option<&Arc<Schema>> = None;
+        for tuple in &batch {
+            if validated.is_some_and(|prev| Arc::ptr_eq(prev, tuple.schema())) {
+                continue;
             }
+            Self::check_schema(&shard, stream, tuple)?;
+            validated = Some(tuple.schema());
         }
-        self.stats.tuples_emitted += emitted as u64;
-        Ok(emitted)
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let mut deployments = shard.deployments.lock();
+        Ok(self.process_locked(&mut deployments, &batch))
     }
 
     /// Number of live deployments.
     #[must_use]
     pub fn deployment_count(&self) -> usize {
-        self.deployments.len()
+        self.routes.read().len()
     }
 
     /// Number of live deployments attached to one input stream.
     #[must_use]
     pub fn deployments_on(&self, stream: &str) -> usize {
-        self.by_stream.get(stream).map_or(0, Vec::len)
+        self.shards.read().get(stream).map_or(0, |s| s.deployments.lock().len())
     }
 
     /// Total derived tuples emitted by one deployment so far.
     #[must_use]
     pub fn emitted_by(&self, id: DeploymentId) -> Option<u64> {
-        self.deployments.get(&id).map(|s| s.emitted)
+        let stream = self.routes.read().get(&id).cloned()?;
+        let shard = self.shards.read().get(&stream).cloned()?;
+        let deployments = shard.deployments.lock();
+        deployments.iter().find(|d| d.id == id).map(|d| d.emitted)
+    }
+
+    /// The input stream a deployment is attached to.
+    #[must_use]
+    pub fn stream_of(&self, id: DeploymentId) -> Option<String> {
+        self.routes.read().get(&id).cloned()
     }
 }
 
@@ -352,7 +468,7 @@ mod tests {
     }
 
     fn engine_with_weather() -> (StreamEngine, Schema) {
-        let mut engine = StreamEngine::new();
+        let engine = StreamEngine::new();
         let schema = Schema::weather_example();
         engine.register_stream("weather", schema.clone()).unwrap();
         (engine, schema)
@@ -360,7 +476,7 @@ mod tests {
 
     #[test]
     fn deploy_subscribe_push_full_example1_pipeline() {
-        let (mut engine, schema) = engine_with_weather();
+        let (engine, schema) = engine_with_weather();
         let graph = QueryGraphBuilder::on_stream("weather")
             .filter_str("rainrate > 5")
             .unwrap()
@@ -399,7 +515,7 @@ mod tests {
 
     #[test]
     fn identity_deployment_passes_tuples_through() {
-        let (mut engine, schema) = engine_with_weather();
+        let (engine, schema) = engine_with_weather();
         let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
         let rx = engine.subscribe(&d.output_handle).unwrap();
         engine.push("weather", weather_tuple(&schema, 0, 3.0, 1.0)).unwrap();
@@ -408,7 +524,7 @@ mod tests {
 
     #[test]
     fn multiple_deployments_on_one_stream() {
-        let (mut engine, schema) = engine_with_weather();
+        let (engine, schema) = engine_with_weather();
         let g1 =
             QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 5").unwrap().build();
         let g2 =
@@ -427,7 +543,7 @@ mod tests {
 
     #[test]
     fn withdraw_disconnects_subscribers_and_releases_handle() {
-        let (mut engine, schema) = engine_with_weather();
+        let (engine, schema) = engine_with_weather();
         let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
         let rx = engine.subscribe(&d.output_handle).unwrap();
         assert!(engine.catalog().handle_is_live(&d.output_handle));
@@ -446,7 +562,7 @@ mod tests {
 
     #[test]
     fn withdraw_by_handle() {
-        let (mut engine, _schema) = engine_with_weather();
+        let (engine, _schema) = engine_with_weather();
         let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
         engine.withdraw_handle(&d.output_handle).unwrap();
         assert_eq!(engine.deployment_count(), 0);
@@ -455,7 +571,7 @@ mod tests {
 
     #[test]
     fn push_checks_stream_and_schema() {
-        let (mut engine, _schema) = engine_with_weather();
+        let (engine, _schema) = engine_with_weather();
         let other = Schema::gps_example();
         let t = Tuple::builder(&other).finish_with_defaults();
         assert!(matches!(engine.push("nosuch", t.clone()), Err(DsmsError::UnknownStream(_))));
@@ -464,7 +580,7 @@ mod tests {
 
     #[test]
     fn deploy_rejects_unknown_stream_and_bad_graph() {
-        let (mut engine, _schema) = engine_with_weather();
+        let (engine, _schema) = engine_with_weather();
         let g = QueryGraphBuilder::on_stream("nosuch").build();
         assert!(matches!(engine.deploy(&g), Err(DsmsError::UnknownStream(_))));
         let g = QueryGraphBuilder::on_stream("weather").map(["bogus"]).build();
@@ -473,7 +589,7 @@ mod tests {
 
     #[test]
     fn stats_are_accumulated() {
-        let (mut engine, schema) = engine_with_weather();
+        let (engine, schema) = engine_with_weather();
         let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
         engine.push("weather", weather_tuple(&schema, 0, 1.0, 1.0)).unwrap();
         engine.push("weather", weather_tuple(&schema, 1, 2.0, 1.0)).unwrap();
@@ -488,11 +604,120 @@ mod tests {
 
     #[test]
     fn output_schema_lookup_by_handle() {
-        let (mut engine, _schema) = engine_with_weather();
+        let (engine, _schema) = engine_with_weather();
         let g = QueryGraphBuilder::on_stream("weather").map(["rainrate"]).build();
         let d = engine.deploy(&g).unwrap();
         let s = engine.output_schema(&d.output_handle).unwrap();
         assert_eq!(s.field_names(), vec!["rainrate"]);
         assert!(engine.output_schema(&StreamHandle::from_uri("exacml://x/streams/999")).is_err());
+    }
+
+    #[test]
+    fn push_batch_matches_single_pushes() {
+        let (engine, schema) = engine_with_weather();
+        let g = QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 5").unwrap().build();
+        let d = engine.deploy(&g).unwrap();
+        let rx = engine.subscribe(&d.output_handle).unwrap();
+
+        let batch: Vec<Tuple> = (0..20)
+            .map(|i| weather_tuple(&schema, i, if i % 2 == 0 { 10.0 } else { 1.0 }, 0.0))
+            .collect();
+        let emitted = engine.push_batch("weather", batch).unwrap();
+        assert_eq!(emitted, 10);
+        assert_eq!(rx.try_iter().count(), 10);
+        assert_eq!(engine.stats().tuples_ingested, 20);
+        assert_eq!(engine.emitted_by(d.id), Some(10));
+
+        // Empty batches are a no-op.
+        assert_eq!(engine.push_batch("weather", Vec::new()).unwrap(), 0);
+        // A batch with a mismatched tuple is rejected atomically.
+        let bad = Tuple::builder(&Schema::gps_example()).finish_with_defaults();
+        assert!(engine.push_batch("weather", vec![bad]).is_err());
+        assert_eq!(engine.stats().tuples_ingested, 20);
+    }
+
+    #[test]
+    fn pushes_to_distinct_streams_run_from_many_threads() {
+        let engine = Arc::new(StreamEngine::new());
+        let schema = Schema::weather_example();
+        for name in ["s0", "s1", "s2", "s3"] {
+            engine.register_stream(name, schema.clone()).unwrap();
+            engine
+                .deploy(
+                    &QueryGraphBuilder::on_stream(name).filter_str("rainrate > 5").unwrap().build(),
+                )
+                .unwrap();
+        }
+        const PER_THREAD: usize = 500;
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let schema = schema.clone();
+                std::thread::spawn(move || {
+                    let stream = format!("s{i}");
+                    for j in 0..PER_THREAD {
+                        engine.push(&stream, weather_tuple(&schema, j as i64, 10.0, 0.0)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.tuples_ingested, (4 * PER_THREAD) as u64);
+        assert_eq!(stats.tuples_emitted, (4 * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn time_window_after_timestampless_projection_emits_nothing() {
+        // A map that projects away the timestamp feeds a time window: the
+        // projected tuples carry no event time, so time windows never close
+        // (the interpreted/seed semantics). The map→aggregate fusion must
+        // not resurrect the upstream timestamp.
+        let (engine, schema) = engine_with_weather();
+        let graph = QueryGraphBuilder::on_stream("weather")
+            .map(["rainrate"])
+            .aggregate(
+                WindowSpec::time(60_000, 30_000),
+                vec![AggSpec::new("rainrate", AggFunc::Avg)],
+            )
+            .build();
+        let d = engine.deploy(&graph).unwrap();
+        let rx = engine.subscribe(&d.output_handle).unwrap();
+        for i in 0..20 {
+            engine.push("weather", weather_tuple(&schema, i, 10.0, 1.0)).unwrap();
+        }
+        assert_eq!(rx.try_iter().count(), 0);
+        assert_eq!(engine.emitted_by(d.id), Some(0));
+
+        // The same window fed with the timestamp kept does close.
+        let graph = QueryGraphBuilder::on_stream("weather")
+            .map(["samplingtime", "rainrate"])
+            .aggregate(
+                WindowSpec::time(60_000, 30_000),
+                vec![AggSpec::new("rainrate", AggFunc::Avg)],
+            )
+            .build();
+        let d = engine.deploy(&graph).unwrap();
+        let rx = engine.subscribe(&d.output_handle).unwrap();
+        for i in 0..20 {
+            engine.push("weather", weather_tuple(&schema, i, 10.0, 1.0)).unwrap();
+        }
+        assert!(rx.try_iter().count() > 0);
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned_on_next_push() {
+        let (engine, schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        let rx1 = engine.subscribe(&d.output_handle).unwrap();
+        let rx2 = engine.subscribe(&d.output_handle).unwrap();
+        drop(rx2);
+        engine.push("weather", weather_tuple(&schema, 0, 1.0, 1.0)).unwrap();
+        assert_eq!(rx1.try_iter().count(), 1);
+        // The engine still delivers to live subscribers after pruning.
+        engine.push("weather", weather_tuple(&schema, 1, 2.0, 2.0)).unwrap();
+        assert_eq!(rx1.try_iter().count(), 1);
     }
 }

@@ -19,7 +19,9 @@
 //!   ([`graph`]),
 //! * a continuous-query engine that registers input streams, deploys and
 //!   withdraws query graphs, pushes tuples and delivers derived tuples to
-//!   subscribers ([`engine`]),
+//!   subscribers ([`engine`]) — internally synchronized and sharded by
+//!   stream, so every operation takes `&self` and pushes to different
+//!   streams run in parallel,
 //! * a StreamSQL dialect writer/parser matching Figure 4(b) of the paper
 //!   ([`streamsql`]),
 //! * a catalog of stream handles (URIs) that the framework returns to
@@ -30,7 +32,7 @@
 //!
 //! // The weather schema of the paper's Example 1.
 //! let schema = Schema::weather_example();
-//! let mut engine = StreamEngine::new();
+//! let engine = StreamEngine::new();
 //! engine.register_stream("weather", schema.clone()).unwrap();
 //!
 //! // filter(rainrate > 5) → map(samplingtime, rainrate) on the stream.
@@ -49,6 +51,7 @@
 //! ```
 
 pub mod catalog;
+mod compiled;
 pub mod engine;
 pub mod error;
 pub mod graph;

@@ -393,7 +393,7 @@ mod tests {
         let sql = generate(&graph, &schema);
         let parsed = parse(&sql).unwrap();
 
-        let mut engine = StreamEngine::new();
+        let engine = StreamEngine::new();
         engine.register_stream(&parsed.stream, parsed.schema.clone()).unwrap();
         let d = engine.deploy(&parsed.graph).unwrap();
         let rx = engine.subscribe(&d.output_handle).unwrap();

@@ -12,10 +12,15 @@ use std::fmt;
 use std::sync::Arc;
 
 /// One tuple of a data stream.
+///
+/// Both the schema and the value row live behind `Arc`s, so cloning a tuple
+/// costs two reference-count increments regardless of arity — the engine
+/// fans one source tuple out to many deployments and subscribers without
+/// copying the payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     schema: Arc<Schema>,
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
@@ -41,7 +46,21 @@ impl Tuple {
                 ));
             }
         }
-        Ok(Tuple { schema, values })
+        Ok(Tuple { schema, values: values.into() })
+    }
+
+    /// Create a tuple without re-validating values against the schema.
+    ///
+    /// For engine-internal producers (compiled operators) whose output is
+    /// correct by construction; offers the derived-tuple hot path a way to
+    /// skip the per-field compatibility scan. Accepts the row as anything
+    /// that converts into the shared `Arc<[Value]>` form — collecting an
+    /// iterator straight into `Arc<[Value]>` saves the intermediate `Vec`.
+    #[must_use]
+    pub(crate) fn from_trusted_parts(schema: Arc<Schema>, values: impl Into<Arc<[Value]>>) -> Self {
+        let values = values.into();
+        debug_assert_eq!(schema.len(), values.len());
+        Tuple { schema, values }
     }
 
     /// Start building a tuple field-by-field.
@@ -97,13 +116,13 @@ impl Tuple {
     /// skipped), producing a tuple over the projected schema.
     #[must_use]
     pub fn project(&self, attrs: &[String], projected_schema: Arc<Schema>) -> Tuple {
-        let values = projected_schema
+        let values: Vec<Value> = projected_schema
             .fields()
             .iter()
             .map(|f| self.get(&f.name).cloned().unwrap_or(Value::Null))
             .collect();
         let _ = attrs; // the projected schema already encodes the attribute list
-        Tuple { schema: projected_schema, values }
+        Tuple { schema: projected_schema, values: values.into() }
     }
 
     /// Rough serialized size in bytes, used by the simulated network to model

@@ -153,6 +153,39 @@ impl SlidingBuffer {
         }
     }
 
+    /// Add a tuple; invoke `on_close` with the contents of every window that
+    /// closes, **without cloning them out of the buffer**. This is the
+    /// engine's hot path; [`SlidingBuffer::push`] remains for callers that
+    /// want owned windows.
+    pub fn push_visit(&mut self, tuple: Tuple, mut on_close: impl FnMut(&[Tuple])) {
+        match self.spec.kind {
+            WindowKind::Tuple => {
+                self.buffer.push_back(tuple);
+                let size = self.spec.size as usize;
+                let advance = self.spec.advance as usize;
+                while self.buffer.len() >= size {
+                    let (front, _) = self.buffer.as_slices();
+                    if front.len() >= size {
+                        on_close(&front[..size]);
+                    } else {
+                        on_close(&self.buffer.make_contiguous()[..size]);
+                    }
+                    for _ in 0..advance {
+                        self.buffer.pop_front();
+                    }
+                }
+            }
+            // Time windows close on arbitrary subsets of the buffer; the
+            // cloning path is the straightforward one and time windows are
+            // far rarer than tuple windows in the workloads.
+            WindowKind::Time => {
+                for window in self.push_time_based(tuple) {
+                    on_close(&window);
+                }
+            }
+        }
+    }
+
     fn push_tuple_based(&mut self, tuple: Tuple) -> Vec<Vec<Tuple>> {
         self.buffer.push_back(tuple);
         let size = self.spec.size as usize;

@@ -11,12 +11,13 @@
 use exacml_dsms::{Schema, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A synthetic weather-station feed (Example 1 schema, one record per
 /// sampling interval).
 #[derive(Debug, Clone)]
 pub struct WeatherFeed {
-    schema: Schema,
+    schema: Arc<Schema>,
     rng: StdRng,
     next_ts: i64,
     interval_ms: i64,
@@ -29,7 +30,7 @@ impl WeatherFeed {
     #[must_use]
     pub fn new(seed: u64, interval_ms: i64) -> Self {
         WeatherFeed {
-            schema: Schema::weather_example(),
+            schema: Schema::weather_example().shared(),
             rng: StdRng::seed_from_u64(seed),
             next_ts: 0,
             interval_ms,
@@ -57,7 +58,7 @@ impl WeatherFeed {
         // the `rainrate > 5` / `> 50` thresholds are exercised).
         let burst = if self.rng.gen_bool(0.15) { self.rng.gen_range(20.0..90.0_f64) } else { 0.0 };
         let rain = (self.base_rain + self.rng.gen_range(0.0..4.0_f64) + burst).max(0.0);
-        Tuple::builder(&self.schema)
+        Tuple::builder_shared(&self.schema)
             .set("samplingtime", Value::Timestamp(ts))
             .set("temperature", 24.0 + self.rng.gen_range(0.0..10.0))
             .set("humidity", 60.0 + self.rng.gen_range(0.0..35.0))
@@ -74,12 +75,29 @@ impl WeatherFeed {
     pub fn take(&mut self, count: usize) -> Vec<Tuple> {
         (0..count).map(|_| self.next_tuple()).collect()
     }
+
+    /// Generate `count` records and push them into the engine as one batch
+    /// (a single shard lookup and lock acquisition). Returns the number of
+    /// derived tuples emitted.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or its schema differs from the
+    /// feed's.
+    pub fn pump_into(
+        &mut self,
+        engine: &exacml_dsms::StreamEngine,
+        stream: &str,
+        count: usize,
+    ) -> Result<usize, exacml_dsms::DsmsError> {
+        let batch = self.take(count);
+        engine.push_batch(stream, batch)
+    }
 }
 
 /// A synthetic GPS-track feed.
 #[derive(Debug, Clone)]
 pub struct GpsFeed {
-    schema: Schema,
+    schema: Arc<Schema>,
     rng: StdRng,
     next_ts: i64,
     interval_ms: i64,
@@ -92,7 +110,7 @@ impl GpsFeed {
     /// A feed for one device emitting a fix every `interval_ms` milliseconds.
     pub fn new(seed: u64, device: impl Into<String>, interval_ms: i64) -> Self {
         GpsFeed {
-            schema: Schema::gps_example(),
+            schema: Schema::gps_example().shared(),
             rng: StdRng::seed_from_u64(seed),
             next_ts: 0,
             interval_ms,
@@ -115,7 +133,7 @@ impl GpsFeed {
         self.next_ts += self.interval_ms;
         self.latitude += self.rng.gen_range(-0.0005..0.0005);
         self.longitude += self.rng.gen_range(-0.0005..0.0005);
-        Tuple::builder(&self.schema)
+        Tuple::builder_shared(&self.schema)
             .set("samplingtime", Value::Timestamp(ts))
             .set("deviceid", self.device.clone())
             .set("latitude", self.latitude)
@@ -129,6 +147,23 @@ impl GpsFeed {
     /// Generate a batch of fixes.
     pub fn take(&mut self, count: usize) -> Vec<Tuple> {
         (0..count).map(|_| self.next_tuple()).collect()
+    }
+
+    /// Generate `count` fixes and push them into the engine as one batch
+    /// (a single shard lookup and lock acquisition). Returns the number of
+    /// derived tuples emitted.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown or its schema differs from the
+    /// feed's.
+    pub fn pump_into(
+        &mut self,
+        engine: &exacml_dsms::StreamEngine,
+        stream: &str,
+        count: usize,
+    ) -> Result<usize, exacml_dsms::DsmsError> {
+        let batch = self.take(count);
+        engine.push_batch(stream, batch)
     }
 }
 
@@ -173,12 +208,27 @@ mod tests {
 
     #[test]
     fn feeds_match_registered_schemas() {
-        let mut engine = exacml_dsms::StreamEngine::new();
+        let engine = exacml_dsms::StreamEngine::new();
         let mut weather = WeatherFeed::paper_default(1);
         let mut gps = GpsFeed::new(2, "d", 1000);
         engine.register_stream("weather", weather.schema().clone()).unwrap();
         engine.register_stream("gps", gps.schema().clone()).unwrap();
         engine.push("weather", weather.next_tuple()).unwrap();
         engine.push("gps", gps.next_tuple()).unwrap();
+    }
+
+    #[test]
+    fn feeds_pump_batches_into_the_engine() {
+        let engine = exacml_dsms::StreamEngine::new();
+        let mut weather = WeatherFeed::paper_default(1);
+        let mut gps = GpsFeed::new(2, "d", 1000);
+        engine.register_stream("weather", weather.schema().clone()).unwrap();
+        engine.register_stream("gps", gps.schema().clone()).unwrap();
+        engine.deploy(&exacml_dsms::QueryGraph::identity("weather")).unwrap();
+        let emitted = weather.pump_into(&engine, "weather", 50).unwrap();
+        assert_eq!(emitted, 50);
+        assert_eq!(gps.pump_into(&engine, "gps", 10).unwrap(), 0);
+        assert_eq!(engine.stats().tuples_ingested, 60);
+        assert!(weather.pump_into(&engine, "nosuch", 1).is_err());
     }
 }

@@ -5,12 +5,34 @@
 //! the obligations of the matching policy (Section 2.1). The store supports
 //! the add / remove / update operations the query-graph management layer of
 //! eXACML+ reacts to (Section 3.3).
+//!
+//! # Hot-path structure
+//!
+//! The store keeps, besides the insertion-ordered policy list, a **target
+//! index** keyed on the `(subject-id, resource-id, action-id)` triple that
+//! the framework's policy targets are built from. A request carrying a
+//! single value for each of those attributes only evaluates the policies in
+//! its triple bucket plus the policies whose targets are not triple-shaped
+//! (the *generic* residue), merged back into insertion order so
+//! first-applicable combining is preserved bit-for-bit. Requests that don't
+//! fit the triple shape fall back to the full linear scan.
+//!
+//! On top of the index, each [`Pdp`] carries a **decision cache** keyed by
+//! the canonicalized request. The cache is coupled to the store's revision
+//! counter, which every add / remove / update bumps — the same Section 3.3
+//! events that withdraw deployed query graphs also invalidate cached
+//! decisions, so a cached decision is never served across a policy change.
+//!
+//! Policies are stored behind `Arc`s: [`PolicyStore::snapshot`] and
+//! [`PolicyStore::get`] hand out shared references instead of deep-cloning
+//! policy documents.
 
+use crate::attribute::AttributeCategory;
 use crate::obligation::Obligation;
-use crate::policy::{Effect, Policy, PolicyCombiningAlg};
-use crate::request::Request;
+use crate::policy::{Effect, Policy, PolicyCombiningAlg, Target};
+use crate::request::{ids, Request};
 use crate::XacmlError;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -72,10 +94,48 @@ impl DecisionResponse {
     }
 }
 
+/// Key of the target index: the `(subject, resource, action)` values a
+/// triple-shaped policy target requires.
+type TripleKey = (String, String, String);
+
+/// The `(subject-id, resource-id, action-id)` values a policy target
+/// requires, when the target has at least one matcher for each. Extra
+/// matchers (roles, environment) do not prevent indexing — the full target
+/// is still evaluated at decision time; the index only narrows the
+/// candidate set.
+fn triple_key_of(target: &Target) -> Option<TripleKey> {
+    let first = |category: AttributeCategory, id: &str| {
+        target
+            .matches
+            .iter()
+            .find(|m| m.category == category && m.attribute_id == id)
+            .map(|m| m.value.clone())
+    };
+    Some((
+        first(AttributeCategory::Subject, ids::SUBJECT_ID)?,
+        first(AttributeCategory::Resource, ids::RESOURCE_ID)?,
+        first(AttributeCategory::Action, ids::ACTION_ID)?,
+    ))
+}
+
+/// Target index over the store: triple-shaped policies bucketed by their
+/// required `(subject, resource, action)` values, everything else in the
+/// generic list. Entries carry the policy's position in the evaluation
+/// order so candidate sets can be merged back into first-applicable order.
+#[derive(Debug, Default)]
+struct TargetIndex {
+    by_triple: HashMap<TripleKey, Vec<(usize, Arc<Policy>)>>,
+    generic: Vec<(usize, Arc<Policy>)>,
+}
+
 /// A thread-safe, insertion-ordered policy store.
 #[derive(Debug, Default)]
 pub struct PolicyStore {
     inner: RwLock<StoreInner>,
+    /// Revision-tagged shared snapshot of the id list, rebuilt lazily on
+    /// demand so `ids()` costs a reference-count bump between mutations and
+    /// `add` stays O(1).
+    ids_cache: Mutex<(u64, Arc<[String]>)>,
 }
 
 #[derive(Debug, Default)]
@@ -83,7 +143,64 @@ struct StoreInner {
     /// Insertion order of policy ids (first-applicable combining is order
     /// dependent, and the evaluation workload loads policies sequentially).
     order: Vec<String>,
-    policies: HashMap<String, Policy>,
+    policies: HashMap<String, Arc<Policy>>,
+    index: TargetIndex,
+    /// Bumped by every add / remove / update; decision caches compare it to
+    /// decide whether their entries are still valid.
+    revision: u64,
+}
+
+impl StoreInner {
+    /// Index the policy that was just appended to `order` — O(1), so
+    /// sequential bulk loading (the evaluation workload loads policies one
+    /// by one) stays linear overall.
+    fn index_appended(&mut self) {
+        let pos = self.order.len() - 1;
+        let policy = &self.policies[&self.order[pos]];
+        match triple_key_of(&policy.target) {
+            Some(key) => {
+                self.index.by_triple.entry(key).or_default().push((pos, Arc::clone(policy)))
+            }
+            None => self.index.generic.push((pos, Arc::clone(policy))),
+        }
+        self.revision += 1;
+    }
+
+    /// Rebuild the target index from scratch and bump the revision. Used for
+    /// remove and update, which can shift positions or move a policy between
+    /// buckets; those events are rare next to evaluations (each one also
+    /// withdraws query graphs, Section 3.3), so the full rebuild keeps the
+    /// bookkeeping trivially correct.
+    fn reindex(&mut self) {
+        self.index.by_triple.clear();
+        self.index.generic.clear();
+        for (pos, id) in self.order.iter().enumerate() {
+            let policy = &self.policies[id];
+            match triple_key_of(&policy.target) {
+                Some(key) => {
+                    self.index.by_triple.entry(key).or_default().push((pos, Arc::clone(policy)))
+                }
+                None => self.index.generic.push((pos, Arc::clone(policy))),
+            }
+        }
+        self.revision += 1;
+    }
+}
+
+/// The single value of a request attribute, when the request carries exactly
+/// zero or one — `Err(())` marks a multi-valued attribute, which makes the
+/// request ineligible for the triple index.
+fn single_value<'r>(
+    request: &'r Request,
+    category: AttributeCategory,
+    id: &str,
+) -> Result<Option<&'r str>, ()> {
+    let values = request.values_of(category, id);
+    match values.as_slice() {
+        [] => Ok(None),
+        [one] => Ok(Some(one.text.as_str())),
+        _ => Err(()),
+    }
 }
 
 impl PolicyStore {
@@ -106,7 +223,8 @@ impl PolicyStore {
             return Err(XacmlError::PolicyAlreadyExists(policy.id));
         }
         inner.order.push(policy.id.clone());
-        inner.policies.insert(policy.id.clone(), policy);
+        inner.policies.insert(policy.id.clone(), Arc::new(policy));
+        inner.index_appended();
         Ok(())
     }
 
@@ -125,7 +243,8 @@ impl PolicyStore {
         if !inner.policies.contains_key(&policy.id) {
             return Err(XacmlError::UnknownPolicy(policy.id));
         }
-        inner.policies.insert(policy.id.clone(), policy);
+        inner.policies.insert(policy.id.clone(), Arc::new(policy));
+        inner.reindex();
         Ok(())
     }
 
@@ -134,19 +253,20 @@ impl PolicyStore {
     ///
     /// # Errors
     /// Fails when no policy with this id exists.
-    pub fn remove(&self, policy_id: &str) -> Result<Policy, XacmlError> {
+    pub fn remove(&self, policy_id: &str) -> Result<Arc<Policy>, XacmlError> {
         let mut inner = self.inner.write();
         let policy = inner
             .policies
             .remove(policy_id)
             .ok_or_else(|| XacmlError::UnknownPolicy(policy_id.to_string()))?;
         inner.order.retain(|id| id != policy_id);
+        inner.reindex();
         Ok(policy)
     }
 
-    /// Fetch a policy by id.
+    /// Fetch a policy by id (a shared reference, not a deep clone).
     #[must_use]
-    pub fn get(&self, policy_id: &str) -> Option<Policy> {
+    pub fn get(&self, policy_id: &str) -> Option<Arc<Policy>> {
         self.inner.read().policies.get(policy_id).cloned()
     }
 
@@ -168,23 +288,38 @@ impl PolicyStore {
         self.len() == 0
     }
 
-    /// Policy ids in evaluation order.
+    /// Policy ids in evaluation order, as a shared snapshot (between
+    /// mutations: one reference-count bump, no per-call cloning of the id
+    /// strings).
     #[must_use]
-    pub fn ids(&self) -> Vec<String> {
-        self.inner.read().order.clone()
+    pub fn ids(&self) -> Arc<[String]> {
+        let mut cache = self.ids_cache.lock();
+        let inner = self.inner.read();
+        if cache.0 != inner.revision {
+            *cache = (inner.revision, inner.order.clone().into());
+        }
+        Arc::clone(&cache.1)
     }
 
-    /// Snapshot of the policies in evaluation order.
+    /// Snapshot of the policies in evaluation order. Each entry is an `Arc`
+    /// share of the stored policy — the documents themselves are not cloned.
     #[must_use]
-    pub fn snapshot(&self) -> Vec<Policy> {
+    pub fn snapshot(&self) -> Vec<Arc<Policy>> {
         let inner = self.inner.read();
         inner.order.iter().filter_map(|id| inner.policies.get(id).cloned()).collect()
     }
 
+    /// The store's revision counter; bumped by every add / remove / update.
+    /// Decision caches use it to detect staleness.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.inner.read().revision
+    }
+
     /// Visit every policy in evaluation order without cloning, stopping when
-    /// the visitor returns `Some`. This is the hot path of PDP evaluation —
-    /// the evaluation workload holds a thousand policies and the paper's
-    /// scalability claim depends on the per-request PDP cost staying flat.
+    /// the visitor returns `Some`. This is the reference evaluation path —
+    /// the indexed candidate sets must agree with it, which the property
+    /// tests assert.
     pub fn scan<R>(&self, mut visitor: impl FnMut(&Policy) -> Option<R>) -> Option<R> {
         let inner = self.inner.read();
         for id in &inner.order {
@@ -196,6 +331,82 @@ impl PolicyStore {
         }
         None
     }
+
+    /// The policies that can possibly apply to `request`, in evaluation
+    /// order, or `None` when the request is not triple-indexable (some
+    /// triple attribute carries multiple values) and the caller must fall
+    /// back to the full scan.
+    ///
+    /// Correctness: a triple-indexed policy requires its exact
+    /// `(subject, resource, action)` values to be present in the request, so
+    /// for a request carrying at most one value per triple attribute, every
+    /// policy outside the request's bucket and the generic list evaluates to
+    /// Not&nbsp;Applicable and can be skipped without changing the combined
+    /// outcome under any combining algorithm.
+    fn indexed_candidates(&self, request: &Request) -> Option<Vec<Arc<Policy>>> {
+        let subject = single_value(request, AttributeCategory::Subject, ids::SUBJECT_ID).ok()?;
+        let resource = single_value(request, AttributeCategory::Resource, ids::RESOURCE_ID).ok()?;
+        let action = single_value(request, AttributeCategory::Action, ids::ACTION_ID).ok()?;
+
+        let inner = self.inner.read();
+        let bucket: &[(usize, Arc<Policy>)] = match (subject, resource, action) {
+            (Some(s), Some(r), Some(a)) => {
+                // Borrow the key parts without building owned Strings unless
+                // the bucket exists is not possible with a tuple key; the
+                // three small allocations happen once per (uncached) request.
+                let key = (s.to_string(), r.to_string(), a.to_string());
+                inner.index.by_triple.get(&key).map_or(&[][..], Vec::as_slice)
+            }
+            // A request missing one of the triple attributes can never
+            // satisfy a triple-shaped target: only generic policies apply.
+            _ => &[],
+        };
+
+        // Merge bucket and generic back into evaluation order.
+        let mut candidates = Vec::with_capacity(bucket.len() + inner.index.generic.len());
+        let (mut i, mut j) = (0, 0);
+        while i < bucket.len() && j < inner.index.generic.len() {
+            if bucket[i].0 < inner.index.generic[j].0 {
+                candidates.push(Arc::clone(&bucket[i].1));
+                i += 1;
+            } else {
+                candidates.push(Arc::clone(&inner.index.generic[j].1));
+                j += 1;
+            }
+        }
+        candidates.extend(bucket[i..].iter().map(|(_, p)| Arc::clone(p)));
+        candidates.extend(inner.index.generic[j..].iter().map(|(_, p)| Arc::clone(p)));
+        Some(candidates)
+    }
+}
+
+/// A revision-coupled cache of PDP decisions keyed by canonicalized request.
+#[derive(Debug, Default)]
+struct DecisionCache {
+    inner: Mutex<DecisionCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct DecisionCacheInner {
+    /// Store revision the cached entries were computed against.
+    revision: u64,
+    map: HashMap<String, DecisionResponse>,
+}
+
+/// Upper bound on cached decisions; the map is cleared wholesale when it is
+/// reached (the workload's request population is far smaller).
+const DECISION_CACHE_CAPACITY: usize = 8192;
+
+/// Canonical text form of a request: category/id/value triples, sorted, so
+/// attribute order in the request document does not fragment the cache.
+fn canonical_request_key(request: &Request) -> String {
+    let mut parts: Vec<String> = request
+        .attributes
+        .iter()
+        .map(|a| format!("{:?}\x1f{}\x1f{}", a.category, a.attribute_id, a.value.text))
+        .collect();
+    parts.sort_unstable();
+    parts.join("\x1e")
 }
 
 /// The Policy Decision Point.
@@ -203,6 +414,8 @@ impl PolicyStore {
 pub struct Pdp {
     store: Arc<PolicyStore>,
     combining: PolicyCombiningAlg,
+    /// Shared across clones of this PDP (same store, same combining).
+    cache: Arc<DecisionCache>,
 }
 
 impl Pdp {
@@ -211,13 +424,20 @@ impl Pdp {
     /// dedicated policy per request).
     #[must_use]
     pub fn new(store: Arc<PolicyStore>) -> Self {
-        Pdp { store, combining: PolicyCombiningAlg::FirstApplicable }
+        Pdp {
+            store,
+            combining: PolicyCombiningAlg::FirstApplicable,
+            cache: Arc::new(DecisionCache::default()),
+        }
     }
 
-    /// Override the policy combining algorithm.
+    /// Override the policy combining algorithm. The decision cache is
+    /// replaced: cached decisions depend on the combining algorithm, so they
+    /// must not leak between a PDP and a re-combined copy of it.
     #[must_use]
     pub fn with_combining(mut self, combining: PolicyCombiningAlg) -> Self {
         self.combining = combining;
+        self.cache = Arc::new(DecisionCache::default());
         self
     }
 
@@ -227,9 +447,81 @@ impl Pdp {
         &self.store
     }
 
-    /// Evaluate a request against every loaded policy.
+    /// Number of decisions currently cached (observability for tests and
+    /// benches).
+    #[must_use]
+    pub fn cached_decisions(&self) -> usize {
+        self.cache.inner.lock().map.len()
+    }
+
+    /// Evaluate a request against the loaded policies, serving repeated
+    /// requests from the decision cache. Cached entries are invalidated by
+    /// the store's add / remove / update events (via the revision counter),
+    /// so a decision is never served across a policy change.
     #[must_use]
     pub fn evaluate(&self, request: &Request) -> DecisionResponse {
+        if request.validate().is_err() {
+            return DecisionResponse {
+                decision: Decision::Indeterminate,
+                obligations: Vec::new(),
+                policy_id: None,
+            };
+        }
+
+        let key = canonical_request_key(request);
+        let revision = self.store.revision();
+        {
+            let mut cache = self.cache.inner.lock();
+            if cache.revision == revision {
+                if let Some(hit) = cache.map.get(&key) {
+                    return hit.clone();
+                }
+            } else {
+                cache.map.clear();
+                cache.revision = revision;
+            }
+        }
+
+        let response = self.evaluate_uncached(request);
+
+        // Only cache when the store has not changed underneath the
+        // evaluation; otherwise the entry might reflect either revision.
+        if self.store.revision() == revision {
+            let mut cache = self.cache.inner.lock();
+            if cache.revision == revision {
+                if cache.map.len() >= DECISION_CACHE_CAPACITY {
+                    cache.map.clear();
+                }
+                cache.map.insert(key, response.clone());
+            }
+        }
+        response
+    }
+
+    /// Evaluate without consulting or filling the decision cache, using the
+    /// target index to narrow the candidate set.
+    #[must_use]
+    pub fn evaluate_uncached(&self, request: &Request) -> DecisionResponse {
+        if request.validate().is_err() {
+            return DecisionResponse {
+                decision: Decision::Indeterminate,
+                obligations: Vec::new(),
+                policy_id: None,
+            };
+        }
+        match self.store.indexed_candidates(request) {
+            Some(candidates) => {
+                self.combine(request, candidates.iter().map(std::convert::AsRef::as_ref))
+            }
+            None => self.evaluate_linear(request),
+        }
+    }
+
+    /// Reference implementation: a full linear scan over the store in
+    /// insertion order, bypassing both the target index and the cache. The
+    /// property tests assert [`Pdp::evaluate`] agrees with this bit for bit.
+    #[must_use]
+    pub fn evaluate_linear(&self, request: &Request) -> DecisionResponse {
         if request.validate().is_err() {
             return DecisionResponse {
                 decision: Decision::Indeterminate,
@@ -268,7 +560,48 @@ impl Pdp {
         if let Some(response) = first {
             return response;
         }
+        self.combined_fallback(permit, deny)
+    }
 
+    /// Run the combining algorithm over an ordered candidate iterator.
+    fn combine<'p>(
+        &self,
+        request: &Request,
+        policies: impl Iterator<Item = &'p Policy>,
+    ) -> DecisionResponse {
+        let mut permit: Option<DecisionResponse> = None;
+        let mut deny: Option<DecisionResponse> = None;
+        for policy in policies {
+            match policy.evaluate(request) {
+                Some(effect @ Effect::Permit) => {
+                    let response = Self::respond(policy, effect);
+                    if self.combining == PolicyCombiningAlg::FirstApplicable {
+                        return response;
+                    }
+                    if permit.is_none() {
+                        permit = Some(response);
+                    }
+                }
+                Some(effect @ Effect::Deny) => {
+                    let response = Self::respond(policy, effect);
+                    if self.combining == PolicyCombiningAlg::FirstApplicable {
+                        return response;
+                    }
+                    if deny.is_none() {
+                        deny = Some(response);
+                    }
+                }
+                None => {}
+            }
+        }
+        self.combined_fallback(permit, deny)
+    }
+
+    fn combined_fallback(
+        &self,
+        permit: Option<DecisionResponse>,
+        deny: Option<DecisionResponse>,
+    ) -> DecisionResponse {
         match self.combining {
             PolicyCombiningAlg::FirstApplicable => DecisionResponse::not_applicable(),
             PolicyCombiningAlg::PermitOverrides => {
@@ -318,7 +651,7 @@ mod tests {
         store.add(permit_policy("p1", "LTA", "weather")).unwrap();
         assert!(store.contains("p1"));
         assert_eq!(store.len(), 1);
-        assert_eq!(store.ids(), vec!["p1".to_string()]);
+        assert_eq!(store.ids().as_ref(), ["p1".to_string()]);
         assert!(matches!(
             store.add(permit_policy("p1", "LTA", "weather")),
             Err(XacmlError::PolicyAlreadyExists(_))
@@ -345,6 +678,29 @@ mod tests {
             store.add(Policy::new("no-rules")),
             Err(XacmlError::InvalidPolicy { .. })
         ));
+    }
+
+    #[test]
+    fn store_revision_bumps_on_every_mutation() {
+        let store = PolicyStore::new();
+        let r0 = store.revision();
+        store.add(permit_policy("p1", "LTA", "weather")).unwrap();
+        let r1 = store.revision();
+        assert!(r1 > r0);
+        store.update(permit_policy("p1", "LTA", "gps")).unwrap();
+        let r2 = store.revision();
+        assert!(r2 > r1);
+        store.remove("p1").unwrap();
+        assert!(store.revision() > r2);
+    }
+
+    #[test]
+    fn snapshot_shares_policies_instead_of_cloning() {
+        let store = PolicyStore::new();
+        store.add(permit_policy("p1", "LTA", "weather")).unwrap();
+        let a = store.snapshot();
+        let b = store.get("p1").unwrap();
+        assert!(Arc::ptr_eq(&a[0], &b));
     }
 
     #[test]
@@ -375,6 +731,27 @@ mod tests {
         assert_eq!(pdp.evaluate(&Request::new()).decision, Decision::Deny);
         let pdp = Pdp::new(store_with(vec![permit, deny]));
         assert_eq!(pdp.evaluate(&Request::new()).decision, Decision::Permit);
+    }
+
+    #[test]
+    fn pdp_first_applicable_interleaves_indexed_and_generic_policies() {
+        // A triple-indexed Deny loaded *before* a generic Permit must still
+        // win under first-applicable for the triple's request.
+        let deny = Policy::new("deny-lta")
+            .with_target(Target::subject_resource_action("LTA", "weather", "subscribe"))
+            .with_rule(Rule::deny_all("d"));
+        let permit = Policy::new("permit-all").with_rule(Rule::permit_all("p"));
+        let pdp = Pdp::new(store_with(vec![deny, permit]));
+        let response = pdp.evaluate(&Request::subscribe("LTA", "weather"));
+        assert_eq!(response.decision, Decision::Deny);
+        assert_eq!(response.policy_id.as_deref(), Some("deny-lta"));
+        // The reverse order gives the generic Permit first.
+        let deny = Policy::new("deny-lta")
+            .with_target(Target::subject_resource_action("LTA", "weather", "subscribe"))
+            .with_rule(Rule::deny_all("d"));
+        let permit = Policy::new("permit-all").with_rule(Rule::permit_all("p"));
+        let pdp = Pdp::new(store_with(vec![permit, deny]));
+        assert_eq!(pdp.evaluate(&Request::subscribe("LTA", "weather")).decision, Decision::Permit);
     }
 
     #[test]
@@ -411,5 +788,104 @@ mod tests {
         let response = pdp.evaluate(&Request::subscribe("user250", "stream250"));
         assert!(response.is_permit());
         assert_eq!(response.policy_id.as_deref(), Some("p250"));
+    }
+
+    #[test]
+    fn cache_serves_repeated_requests_and_survives_reordering() {
+        let pdp = Pdp::new(store_with(vec![permit_policy("p1", "LTA", "weather")]));
+        let request = Request::subscribe("LTA", "weather");
+        assert_eq!(pdp.cached_decisions(), 0);
+        let first = pdp.evaluate(&request);
+        assert_eq!(pdp.cached_decisions(), 1);
+        let second = pdp.evaluate(&request);
+        assert_eq!(first, second);
+        assert_eq!(pdp.cached_decisions(), 1);
+
+        // The same attributes in a different document order hit the same
+        // canonical key.
+        use crate::attribute::AttributeValue;
+        let reordered = Request::new()
+            .with_action(ids::ACTION_ID, AttributeValue::string("subscribe"))
+            .with_resource(ids::RESOURCE_ID, AttributeValue::string("weather"))
+            .with_subject(ids::SUBJECT_ID, AttributeValue::string("LTA"));
+        assert_eq!(pdp.evaluate(&reordered), first);
+        assert_eq!(pdp.cached_decisions(), 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_add_remove_update() {
+        let store = store_with(vec![permit_policy("p1", "LTA", "weather")]);
+        let pdp = Pdp::new(Arc::clone(&store));
+        let request = Request::subscribe("LTA", "weather");
+        assert!(pdp.evaluate(&request).is_permit());
+        assert_eq!(pdp.cached_decisions(), 1);
+
+        // Remove: the cached Permit must not survive.
+        store.remove("p1").unwrap();
+        let response = pdp.evaluate(&request);
+        assert_eq!(response.decision, Decision::NotApplicable);
+
+        // Add: the cached NotApplicable must not survive.
+        store.add(permit_policy("p1", "LTA", "weather")).unwrap();
+        assert!(pdp.evaluate(&request).is_permit());
+
+        // Update: the decision must reflect the new document.
+        let deny = Policy::new("p1")
+            .with_target(Target::subject_resource_action("LTA", "weather", "subscribe"))
+            .with_rule(Rule::deny_all("d"));
+        store.update(deny).unwrap();
+        assert_eq!(pdp.evaluate(&request).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn indexed_evaluation_matches_linear_reference() {
+        // Mixed store: triple-indexed policies, generic policies, deny
+        // rules, multiple policies per triple.
+        let policies = vec![
+            permit_policy("p0", "LTA", "weather"),
+            Policy::new("g0").with_rule(Rule::deny_all("d")),
+            permit_policy("p1", "EMA", "weather"),
+            Policy::new("p1b")
+                .with_target(Target::subject_resource_action("LTA", "weather", "subscribe"))
+                .with_rule(Rule::deny_all("d")),
+            Policy::new("g1").with_rule(Rule::permit_all("p")),
+        ];
+        for combining in [
+            PolicyCombiningAlg::FirstApplicable,
+            PolicyCombiningAlg::PermitOverrides,
+            PolicyCombiningAlg::DenyOverrides,
+        ] {
+            let pdp = Pdp::new(store_with(policies.clone())).with_combining(combining);
+            for request in [
+                Request::subscribe("LTA", "weather"),
+                Request::subscribe("EMA", "weather"),
+                Request::subscribe("nobody", "nothing"),
+                Request::new(),
+            ] {
+                assert_eq!(
+                    pdp.evaluate_uncached(&request),
+                    pdp.evaluate_linear(&request),
+                    "index/linear divergence under {combining:?} for {request}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_valued_requests_fall_back_to_the_linear_scan() {
+        use crate::attribute::AttributeValue;
+        let pdp = Pdp::new(store_with(vec![
+            permit_policy("p1", "LTA", "weather"),
+            permit_policy("p2", "EMA", "weather"),
+        ]));
+        // Two subject ids: the triple index cannot pick a bucket. Both
+        // policies' targets are satisfied, so first-applicable must find p1
+        // (the first loaded), exactly as the linear reference does.
+        let request = Request::subscribe("EMA", "weather")
+            .with_subject(ids::SUBJECT_ID, AttributeValue::string("LTA"));
+        let response = pdp.evaluate(&request);
+        assert!(response.is_permit());
+        assert_eq!(response.policy_id.as_deref(), Some("p1"));
+        assert_eq!(pdp.evaluate_linear(&request), response);
     }
 }

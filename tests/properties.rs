@@ -264,3 +264,184 @@ proptest! {
         prop_assert!(out.len() <= min_used.saturating_mul(step.max(1)));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Indexed PDP vs. linear-scan reference
+// ---------------------------------------------------------------------------
+
+mod pdp_equivalence {
+    use super::*;
+    use exacml_xacml::{
+        AttributeCategory, AttributeMatch, AttributeValue, Pdp, Policy, PolicyCombiningAlg,
+        PolicyStore, Request, Rule, Target,
+    };
+    use std::sync::Arc;
+
+    const SUBJECTS: [&str; 3] = ["LTA", "EMA", "PUB"];
+    const STREAMS: [&str; 3] = ["weather", "gps", "traffic"];
+    const ACTIONS: [&str; 2] = ["subscribe", "read"];
+
+    /// A compact description of one random policy, expanded into a `Policy`
+    /// by `build_policy`. `target_shape`: 0 = triple target (indexable),
+    /// 1 = empty target, 2 = subject-only target, 3 = triple target plus an
+    /// extra role matcher (still indexable).
+    #[derive(Debug, Clone)]
+    struct PolicySpec {
+        target_shape: u8,
+        subject: usize,
+        stream: usize,
+        action: usize,
+        deny: bool,
+    }
+
+    fn arb_policy_spec() -> impl Strategy<Value = PolicySpec> {
+        (
+            0u8..4,
+            0usize..SUBJECTS.len(),
+            0usize..STREAMS.len(),
+            0usize..ACTIONS.len(),
+            proptest::bool::ANY,
+        )
+            .prop_map(|(target_shape, subject, stream, action, deny)| PolicySpec {
+                target_shape,
+                subject,
+                stream,
+                action,
+                deny,
+            })
+    }
+
+    fn build_policy(index: usize, spec: &PolicySpec) -> Policy {
+        use exacml_xacml::request::ids;
+        let target = match spec.target_shape {
+            0 => Target::subject_resource_action(
+                SUBJECTS[spec.subject],
+                STREAMS[spec.stream],
+                ACTIONS[spec.action],
+            ),
+            1 => Target::any(),
+            2 => Target::new(vec![AttributeMatch::new(
+                AttributeCategory::Subject,
+                ids::SUBJECT_ID,
+                SUBJECTS[spec.subject],
+            )]),
+            _ => {
+                let mut t = Target::subject_resource_action(
+                    SUBJECTS[spec.subject],
+                    STREAMS[spec.stream],
+                    ACTIONS[spec.action],
+                );
+                t.matches.push(AttributeMatch::new(
+                    AttributeCategory::Subject,
+                    ids::SUBJECT_ROLE,
+                    "agency",
+                ));
+                t
+            }
+        };
+        let rule = if spec.deny { Rule::deny_all("r") } else { Rule::permit_all("r") };
+        Policy::new(format!("p{index}")).with_target(target).with_rule(rule)
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        use exacml_xacml::request::ids;
+        // Optional picks are encoded as `index == pool size` (the vendored
+        // proptest stand-in has no `option::of`).
+        (
+            0usize..=SUBJECTS.len(),
+            0usize..=STREAMS.len(),
+            0usize..=ACTIONS.len(),
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        )
+            .prop_map(|(subject, stream, action, with_role, extra_subject)| {
+                let subject = (subject < SUBJECTS.len()).then_some(subject);
+                let stream = (stream < STREAMS.len()).then_some(stream);
+                let action = (action < ACTIONS.len()).then_some(action);
+                let mut request = Request::new();
+                if let Some(s) = subject {
+                    request =
+                        request.with_subject(ids::SUBJECT_ID, AttributeValue::string(SUBJECTS[s]));
+                    if extra_subject {
+                        // A second subject-id value makes the request
+                        // ineligible for the triple index: the fallback path
+                        // must agree with the reference too.
+                        request = request.with_subject(
+                            ids::SUBJECT_ID,
+                            AttributeValue::string(SUBJECTS[(s + 1) % SUBJECTS.len()]),
+                        );
+                    }
+                }
+                if let Some(r) = stream {
+                    request =
+                        request.with_resource(ids::RESOURCE_ID, AttributeValue::string(STREAMS[r]));
+                }
+                if let Some(a) = action {
+                    request =
+                        request.with_action(ids::ACTION_ID, AttributeValue::string(ACTIONS[a]));
+                }
+                if with_role {
+                    request =
+                        request.with_subject(ids::SUBJECT_ROLE, AttributeValue::string("agency"));
+                }
+                request
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The indexed PDP (with and without its decision cache) returns
+        /// bit-identical decisions and obligations to the linear-scan
+        /// reference on random stores, under every combining algorithm.
+        #[test]
+        fn indexed_pdp_matches_linear_reference(
+            specs in proptest::collection::vec(arb_policy_spec(), 0..24),
+            requests in proptest::collection::vec(arb_request(), 1..8),
+        ) {
+            let store = Arc::new(PolicyStore::new());
+            for (i, spec) in specs.iter().enumerate() {
+                store.add(build_policy(i, spec)).unwrap();
+            }
+            for combining in [
+                PolicyCombiningAlg::FirstApplicable,
+                PolicyCombiningAlg::PermitOverrides,
+                PolicyCombiningAlg::DenyOverrides,
+            ] {
+                let pdp = Pdp::new(Arc::clone(&store)).with_combining(combining);
+                for request in &requests {
+                    let reference = pdp.evaluate_linear(request);
+                    prop_assert_eq!(&pdp.evaluate_uncached(request), &reference,
+                        "index diverged under {:?} for {}", combining, request);
+                    // Cold (cache-filling) and warm (cache-served) paths.
+                    prop_assert_eq!(&pdp.evaluate(request), &reference);
+                    prop_assert_eq!(&pdp.evaluate(request), &reference);
+                }
+            }
+        }
+
+        /// Removing a random policy keeps the indexed PDP aligned with the
+        /// reference (the index rebuild and cache invalidation are exercised
+        /// mid-sequence).
+        #[test]
+        fn indexed_pdp_stays_aligned_across_mutations(
+            specs in proptest::collection::vec(arb_policy_spec(), 2..16),
+            remove_at in 0usize..16,
+            request in arb_request(),
+        ) {
+            let store = Arc::new(PolicyStore::new());
+            for (i, spec) in specs.iter().enumerate() {
+                store.add(build_policy(i, spec)).unwrap();
+            }
+            let pdp = Pdp::new(Arc::clone(&store));
+            prop_assert_eq!(pdp.evaluate(&request), pdp.evaluate_linear(&request));
+            let victim = format!("p{}", remove_at % specs.len());
+            store.remove(&victim).unwrap();
+            prop_assert_eq!(pdp.evaluate(&request), pdp.evaluate_linear(&request));
+            // Re-adding under the same id lands at the *end* of the order;
+            // the indexed view must still agree.
+            store.add(build_policy(remove_at % specs.len(), &specs[remove_at % specs.len()])).unwrap();
+            prop_assert_eq!(pdp.evaluate(&request), pdp.evaluate_linear(&request));
+        }
+    }
+}

@@ -13,7 +13,15 @@ pub mod channel {
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    ///
+    /// Holds a weak reference to the receiver state so
+    /// [`Sender::is_disconnected`] can report receiver death without a
+    /// failed send — the stream engine uses this to skip cloning tuples for
+    /// subscribers that are already gone.
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        rx_alive: std::sync::Weak<Mutex<mpsc::Receiver<T>>>,
+    }
 
     /// The receiving half of an unbounded channel; clonable, unlike
     /// `std::sync::mpsc::Receiver`.
@@ -21,7 +29,7 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender { tx: self.tx.clone(), rx_alive: self.rx_alive.clone() }
         }
     }
 
@@ -46,12 +54,18 @@ pub mod channel {
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        let shared = Arc::new(Mutex::new(rx));
+        (Sender { tx, rx_alive: Arc::downgrade(&shared) }, Receiver(shared))
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            self.tx.send(value)
+        }
+
+        /// Whether every receiver of this channel has been dropped.
+        pub fn is_disconnected(&self) -> bool {
+            self.rx_alive.strong_count() == 0
         }
     }
 
@@ -122,5 +136,17 @@ mod tests {
         assert!(rx2.try_recv().is_err());
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn sender_observes_receiver_death() {
+        let (tx, rx) = channel::unbounded();
+        assert!(!tx.is_disconnected());
+        let rx2 = rx.clone();
+        drop(rx);
+        assert!(!tx.is_disconnected());
+        drop(rx2);
+        assert!(tx.is_disconnected());
+        assert!(tx.send(1).is_err());
     }
 }
