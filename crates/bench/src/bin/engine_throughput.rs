@@ -185,12 +185,22 @@ fn run_pdp(policies: usize, decisions: usize) -> PdpResult {
     let pdp = Pdp::new(store);
     let request = Request::subscribe(&format!("user{}", policies / 2), "weather");
 
+    // Best-of-N per mode, like the ingest measurement: the CI perf gate
+    // compares speedup ratios with a tight tolerance, and a single scheduler
+    // preemption inside one timing loop would otherwise swing a ratio far
+    // past it. The best repeat is the least-perturbed observation of each
+    // evaluation mode.
+    const REPEATS: usize = 3;
     let time = |f: &dyn Fn() -> bool| {
-        let started = Instant::now();
-        for _ in 0..decisions {
-            assert!(f());
-        }
-        decisions as f64 / started.elapsed().as_secs_f64()
+        (0..REPEATS)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..decisions {
+                    assert!(f());
+                }
+                decisions as f64 / started.elapsed().as_secs_f64()
+            })
+            .fold(0.0f64, f64::max)
     };
 
     let cold_linear_per_sec = time(&|| pdp.evaluate_linear(&request).is_permit());
@@ -211,8 +221,13 @@ fn run_pdp(policies: usize, decisions: usize) -> PdpResult {
 
 fn main() {
     let options = CliOptions::parse(std::env::args().skip(1));
+    // `--small` cuts the tuple count but keeps the policy count (the PDP
+    // speedup ratios scale with store size) and keeps the decision count
+    // high enough that the cached/indexed loops span tens of milliseconds —
+    // sub-ms timing windows would let one scheduler preemption on a noisy
+    // CI runner swing a ratio past the perf gate's tolerance.
     let (per_thread, batch_size, pdp_policies, pdp_decisions) =
-        if options.small { (20_000, 256, 200, 2_000) } else { (200_000, 256, 1000, 20_000) };
+        if options.small { (20_000, 256, 1000, 10_000) } else { (200_000, 256, 1000, 20_000) };
 
     let schema = Schema::weather_example();
     let tuples = weather_tuples(&schema, per_thread);

@@ -1,0 +1,213 @@
+//! The PR-3 fabric measurement: brokered request latency, routed ingest
+//! throughput and simulated delivery latency as the node count grows, on the
+//! paper-testbed and public-cloud topologies. Emitted as
+//! `BENCH_pr3_fabric.json` to extend the repo's perf trajectory.
+//!
+//! For each (topology, node count) scenario the harness builds a fabric,
+//! places one stream per (subject, policy) pair, then measures:
+//!
+//! * **requests/sec** through the broker (every request routed to its owner
+//!   node, charged with the simulated broker → node round trip);
+//! * **ingest tuples/sec** with one producer thread per node pumping
+//!   batches through the broker into the streams that node owns;
+//! * **delivery latency** (simulated, µs): subscribers poll their fabric
+//!   links while the virtual clock advances, and the per-tuple
+//!   `arrival − send` times are aggregated into mean / p99.
+//!
+//! ```text
+//! cargo run --release -p exacml-bench --bin fabric_scale -- \
+//!     [--small] [--json BENCH_pr3_fabric.json]
+//! ```
+
+use exacml_bench::report::{write_json, CliOptions};
+use exacml_dsms::{Schema, Tuple, Value};
+use exacml_plus::{Fabric, FabricConfig, StreamPolicyBuilder};
+use exacml_simnet::Topology;
+use exacml_xacml::Request;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Serialize)]
+struct DeliveryStats {
+    delivered: usize,
+    mean_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Scenario {
+    topology: String,
+    nodes: usize,
+    streams: usize,
+    /// Brokered access requests per second (wall clock, node workflow
+    /// included).
+    requests_per_sec: f64,
+    /// Mean end-to-end request latency in seconds (node workflow + simulated
+    /// broker and node network hops).
+    mean_request_latency_s: f64,
+    /// Tuples per second pumped through the broker, one producer thread per
+    /// node.
+    ingest_tuples_per_sec: f64,
+    /// Simulated subscriber delivery latency.
+    delivery: DeliveryStats,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct FabricReport {
+    pr: u32,
+    bench: String,
+    small: bool,
+    scenarios: Vec<Scenario>,
+}
+
+fn weather_batch(schema: &std::sync::Arc<Schema>, n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::builder_shared(schema)
+                .set("samplingtime", Value::Timestamp(i as i64 * 30_000))
+                .set("rainrate", 10.0 + (i % 50) as f64)
+                .finish_with_defaults()
+        })
+        .collect()
+}
+
+fn run_scenario(
+    topology_name: &str,
+    topology: &Topology,
+    nodes: usize,
+    streams: usize,
+    requests_per_stream: usize,
+    tuples_per_stream: usize,
+) -> Scenario {
+    let fabric = Fabric::new(FabricConfig::new(nodes, topology.clone()).with_seed(7));
+    let schema = Schema::weather_example();
+    let shared = schema.clone().shared();
+    let names: Vec<String> = (0..streams).map(|i| format!("stream{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        fabric.register_stream(name, schema.clone()).unwrap();
+        let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
+            .subject(format!("user{i}"))
+            .filter("rainrate > 5")
+            .build();
+        fabric.load_policy(policy).unwrap();
+    }
+
+    // Brokered request throughput/latency: first grant per stream deploys,
+    // repeats are served by the owner's access guard — both go through the
+    // broker's routing and network charge, like the paper's Zipf workload.
+    let started = Instant::now();
+    let mut latency_total = Duration::ZERO;
+    let mut granted = Vec::new();
+    let mut request_count = 0usize;
+    for round in 0..requests_per_stream {
+        for (i, name) in names.iter().enumerate() {
+            let request = Request::subscribe(&format!("user{i}"), name);
+            let response = fabric.handle_request(&request, None).unwrap();
+            latency_total += response.total_latency();
+            request_count += 1;
+            if round == 0 {
+                granted.push(response.response.handle.clone());
+            }
+        }
+    }
+    let requests_per_sec = request_count as f64 / started.elapsed().as_secs_f64();
+    let mean_request_latency_s = latency_total.as_secs_f64() / request_count as f64;
+
+    // Subscribe to every granted handle before the ingest run so delivery
+    // latency is measured on the same data.
+    let mut subscriptions: Vec<_> = granted.iter().map(|h| fabric.subscribe(h).unwrap()).collect();
+
+    // Routed ingest: one producer thread per node, each pumping batches into
+    // the streams its node owns (so threads never contend on a shard).
+    let per_node_streams: Vec<Vec<&String>> = (0..nodes)
+        .map(|i| names.iter().filter(|n| fabric.owner_of(n) == fabric.nodes()[i].id()).collect())
+        .collect();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for owned in &per_node_streams {
+            let fabric = &fabric;
+            let shared = &shared;
+            scope.spawn(move || {
+                for name in owned {
+                    let batch = weather_batch(shared, tuples_per_stream);
+                    for chunk in batch.chunks(256) {
+                        fabric.push_batch(name, chunk.iter().cloned()).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let total_tuples = streams * tuples_per_stream;
+    let ingest_tuples_per_sec = total_tuples as f64 / started.elapsed().as_secs_f64();
+
+    // Drain the deliveries by advancing the virtual clock in steps, so
+    // arrival ordering is exercised rather than collapsed into one drain.
+    let mut latencies_us: Vec<f64> = Vec::new();
+    for _ in 0..20 {
+        fabric.advance(Duration::from_millis(50));
+        for subscription in &mut subscriptions {
+            for delivered in subscription.poll() {
+                latencies_us.push(delivered.latency().as_secs_f64() * 1e6);
+            }
+        }
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let delivered = latencies_us.len();
+    let mean_us =
+        if delivered == 0 { 0.0 } else { latencies_us.iter().sum::<f64>() / delivered as f64 };
+    let p99_us =
+        if delivered == 0 { 0.0 } else { latencies_us[((delivered - 1) as f64 * 0.99) as usize] };
+
+    Scenario {
+        topology: topology_name.to_string(),
+        nodes,
+        streams,
+        requests_per_sec,
+        mean_request_latency_s,
+        ingest_tuples_per_sec,
+        delivery: DeliveryStats { delivered, mean_us, p99_us },
+    }
+}
+
+fn main() {
+    let options = CliOptions::parse(std::env::args().skip(1));
+    let (streams, requests_per_stream, tuples_per_stream) =
+        if options.small { (16, 4, 2_000) } else { (64, 8, 10_000) };
+    let node_counts: &[usize] = if options.small { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let topologies: [(&str, Topology); 2] =
+        [("paper_testbed", Topology::paper_testbed()), ("public_cloud", Topology::public_cloud())];
+
+    let mut scenarios = Vec::new();
+    println!("fabric_scale: {streams} streams, {tuples_per_stream} tuples/stream");
+    for (name, topology) in &topologies {
+        for &nodes in node_counts {
+            let scenario = run_scenario(
+                name,
+                topology,
+                nodes,
+                streams,
+                requests_per_stream,
+                tuples_per_stream,
+            );
+            println!(
+                "  {:>13} nodes={}: {:>8.0} req/s (mean {:>9.6} s) | ingest {:>11.0} t/s | delivery mean {:>8.1} µs p99 {:>8.1} µs ({} tuples)",
+                scenario.topology,
+                scenario.nodes,
+                scenario.requests_per_sec,
+                scenario.mean_request_latency_s,
+                scenario.ingest_tuples_per_sec,
+                scenario.delivery.mean_us,
+                scenario.delivery.p99_us,
+                scenario.delivery.delivered,
+            );
+            scenarios.push(scenario);
+        }
+    }
+
+    let report =
+        FabricReport { pr: 3, bench: "fabric_scale".into(), small: options.small, scenarios };
+    let path = options.json.unwrap_or_else(|| std::path::PathBuf::from("BENCH_pr3_fabric.json"));
+    write_json(&path, &report).expect("write report");
+    println!("  wrote {}", path.display());
+}

@@ -1,0 +1,171 @@
+//! CI perf-regression gate: compare a fresh `engine_throughput` report
+//! against the committed baseline and fail on significant regressions.
+//!
+//! CI runners differ wildly from the reference machine, so absolute
+//! tuples/sec numbers cannot be compared across machines. What *is*
+//! machine-portable are the **relative speedups** the architecture buys —
+//! sharded+batched vs. global-lock ingest at each thread count, and
+//! indexed/cached vs. linear-scan PDP — because both sides of each ratio
+//! run on the same machine in the same process. The gate therefore compares
+//! those ratios: a real regression in the concurrent hot path (a new lock,
+//! a lost batch path, a cache that stopped hitting) collapses the ratio on
+//! every machine.
+//!
+//! ```text
+//! cargo run --release -p exacml-bench --bin perf_gate -- \
+//!     --baseline BENCH_pr2_throughput.json --current current.json \
+//!     [--tolerance 0.25] [--diff perf_gate_diff.json]
+//! ```
+//!
+//! Exit status is non-zero when any metric fell more than `tolerance`
+//! (fractional, default 0.25 = 25%) below the baseline. The diff JSON is
+//! written either way so CI can upload it as an artifact.
+
+use exacml_bench::report::write_json;
+use serde::Serialize;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Serialize)]
+struct MetricDiff {
+    metric: String,
+    baseline: f64,
+    current: f64,
+    /// `current / baseline`; below `1 - tolerance` fails the gate.
+    ratio: f64,
+    pass: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct GateReport {
+    tolerance: f64,
+    pass: bool,
+    metrics: Vec<MetricDiff>,
+}
+
+struct GateOptions {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+    diff: Option<PathBuf>,
+}
+
+fn parse_args() -> GateOptions {
+    let mut options = GateOptions {
+        baseline: PathBuf::from("BENCH_pr2_throughput.json"),
+        current: PathBuf::from("BENCH_pr2_throughput.ci.json"),
+        tolerance: 0.25,
+        diff: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => options.baseline = args.next().expect("--baseline PATH").into(),
+            "--current" => options.current = args.next().expect("--current PATH").into(),
+            "--tolerance" => {
+                options.tolerance =
+                    args.next().and_then(|v| v.parse().ok()).expect("--tolerance FRACTION");
+            }
+            "--diff" => options.diff = args.next().map(Into::into),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    options
+}
+
+fn load(path: &PathBuf) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+/// The ratio metrics of an `engine_throughput` report, by stable name.
+fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
+    let mut metrics = Vec::new();
+    if let Some(rows) = report.get("ingest_speedup_at_threads").and_then(Value::as_array) {
+        for row in rows {
+            // Each row is a `(threads, speedup)` tuple, serialized as a
+            // two-element array.
+            let Some([threads, speedup]) = row.as_array() else { continue };
+            if let (Some(threads), Some(speedup)) = (threads.as_f64(), speedup.as_f64()) {
+                metrics.push((format!("ingest_speedup_{threads}_threads"), speedup));
+            }
+        }
+    }
+    if let Some(pdp) = report.get("pdp") {
+        for key in ["indexed_speedup", "cached_speedup"] {
+            if let Some(value) = pdp.get(key).and_then(Value::as_f64) {
+                metrics.push((format!("pdp_{key}"), value));
+            }
+        }
+    }
+    metrics
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let baseline = speedup_metrics(&load(&options.baseline));
+    let current = speedup_metrics(&load(&options.current));
+    assert!(
+        !baseline.is_empty(),
+        "baseline {} carries no comparable metrics",
+        options.baseline.display()
+    );
+
+    let mut diffs = Vec::new();
+    for (name, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            // A metric present in the baseline but absent from the current
+            // report fails the gate; 0.0 (not NaN) keeps the diff JSON
+            // serializable so the artifact still explains the failure.
+            diffs.push(MetricDiff {
+                metric: name.clone(),
+                baseline: *base,
+                current: 0.0,
+                ratio: 0.0,
+                pass: false,
+            });
+            continue;
+        };
+        let ratio = cur / base;
+        diffs.push(MetricDiff {
+            metric: name.clone(),
+            baseline: *base,
+            current: *cur,
+            ratio,
+            pass: ratio >= 1.0 - options.tolerance,
+        });
+    }
+
+    let pass = diffs.iter().all(|d| d.pass);
+    println!(
+        "perf_gate: {} vs {} (tolerance {:.0}%)",
+        options.current.display(),
+        options.baseline.display(),
+        options.tolerance * 100.0
+    );
+    for d in &diffs {
+        println!(
+            "  {} {:<28} baseline {:>8.2} current {:>8.2} ({:>5.1}%)",
+            if d.pass { "ok  " } else { "FAIL" },
+            d.metric,
+            d.baseline,
+            d.current,
+            d.ratio * 100.0
+        );
+    }
+
+    let report = GateReport { tolerance: options.tolerance, pass, metrics: diffs };
+    if let Some(path) = &options.diff {
+        write_json(path, &report).expect("write diff report");
+        println!("  wrote {}", path.display());
+    }
+    if pass {
+        println!("  gate PASSED");
+        ExitCode::SUCCESS
+    } else {
+        println!("  gate FAILED: a metric regressed more than the tolerance");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,844 @@
+//! The distributed brokering fabric (PR 3).
+//!
+//! The paper deploys eXACML+ on a coordinator/broker/server testbed; this
+//! module is the first scale-out step beyond the single in-process
+//! [`DataServer`]: N server nodes — each hosting its **own** PDP, policy
+//! store and stream engine — run behind a routing [`Fabric`] broker over
+//! `exacml-simnet` links with a virtual clock.
+//!
+//! * **Stream placement** is consistent: every stream is owned by exactly
+//!   one node, chosen by rendezvous (highest-random-weight) hashing, so the
+//!   mapping is stable, independent of registration order, and moves only
+//!   `~1/(N+1)` of the streams when a node is added to a fresh fabric.
+//! * **Request routing**: an access request is routed to the node owning the
+//!   target stream, charging the broker → node hop on top of the node's own
+//!   Section 3.2 workflow cost.
+//! * **Policy propagation**: add / remove / update at the broker fans out to
+//!   *every* node. Each node's store revision counter advances, so each
+//!   node-local PDP decision cache is invalidated fabric-wide — the
+//!   Section 3.3 coupling between policy-change events and withdrawn state
+//!   holds on every shard.
+//! * **Subscriber delivery** fans back through a per-subscription
+//!   [`SimLink`]: derived tuples are stamped with a simulated arrival time
+//!   (propagation + jitter + serialisation for the tuple's wire size) and
+//!   are only handed to the consumer once the fabric's virtual clock passes
+//!   it, FIFO per link — end-to-end latency therefore includes the network,
+//!   as two thirds of the paper's measured latency did.
+
+use crate::error::ExacmlError;
+use crate::server::{AccessResponse, DataServer, ServerConfig};
+use crate::user_query::UserQuery;
+use exacml_dsms::{Schema, StreamHandle, Tuple};
+use exacml_simnet::{Clock, LinkSpec, ManualClock, NodeId, SimLink, Topology};
+use exacml_xacml::{Policy, Request};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the brokering fabric.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of data-server nodes behind the broker (at least 1).
+    pub nodes: usize,
+    /// Topology the broker and nodes communicate over. Per-node links
+    /// default to the topology's default link unless overridden for
+    /// `NodeId::Server(i)`.
+    pub topology: Topology,
+    /// Base seed; each node and link derives its own deterministic seed.
+    pub seed: u64,
+    /// Per-node server configuration template (`topology`, `seed` and
+    /// `dsms_host` are overridden per node).
+    pub server_template: ServerConfig,
+}
+
+impl FabricConfig {
+    /// A fabric of `nodes` nodes on the given topology.
+    #[must_use]
+    pub fn new(nodes: usize, topology: Topology) -> Self {
+        FabricConfig {
+            nodes: nodes.max(1),
+            topology,
+            seed: 42,
+            server_template: ServerConfig::default(),
+        }
+    }
+
+    /// A fabric on the paper's coordinator/broker/server testbed links.
+    #[must_use]
+    pub fn paper_testbed(nodes: usize) -> Self {
+        FabricConfig::new(nodes, Topology::paper_testbed())
+    }
+
+    /// A fabric where the client-facing hop crosses a WAN (the paper's
+    /// "migrate to a commercial cloud" what-if).
+    #[must_use]
+    pub fn public_cloud(nodes: usize) -> Self {
+        FabricConfig::new(nodes, Topology::public_cloud())
+    }
+
+    /// A fabric with loopback links everywhere (unit tests).
+    #[must_use]
+    pub fn local(nodes: usize) -> Self {
+        FabricConfig::new(nodes, Topology::local())
+    }
+
+    /// Override the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the per-node server template.
+    #[must_use]
+    pub fn with_server_template(mut self, template: ServerConfig) -> Self {
+        self.server_template = template;
+        self
+    }
+}
+
+/// One data-server node of the fabric.
+pub struct FabricNode {
+    id: NodeId,
+    server: Arc<DataServer>,
+    requests_routed: AtomicU64,
+    tuples_routed: AtomicU64,
+}
+
+impl FabricNode {
+    /// The node's identity in the topology.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's data server (own PDP, policy store and engine).
+    #[must_use]
+    pub fn server(&self) -> &Arc<DataServer> {
+        &self.server
+    }
+
+    /// Access requests the broker routed to this node.
+    #[must_use]
+    pub fn requests_routed(&self) -> u64 {
+        self.requests_routed.load(Ordering::Relaxed)
+    }
+
+    /// Source tuples the broker routed to this node.
+    #[must_use]
+    pub fn tuples_routed(&self) -> u64 {
+        self.tuples_routed.load(Ordering::Relaxed)
+    }
+}
+
+/// The answer for an access request routed through the fabric.
+#[derive(Debug, Clone)]
+pub struct FabricResponse {
+    /// The node that owns the stream and handled the request.
+    pub node: NodeId,
+    /// The node's response (timing covers the node-local workflow).
+    pub response: AccessResponse,
+    /// The simulated broker → node round trip charged on top.
+    pub broker_network: Duration,
+}
+
+impl FabricResponse {
+    /// End-to-end latency: node-local workflow plus the brokering hop.
+    #[must_use]
+    pub fn total_latency(&self) -> Duration {
+        self.response.timing.total + self.broker_network
+    }
+}
+
+/// A derived tuple delivered through a simulated link.
+#[derive(Debug, Clone)]
+pub struct DeliveredTuple {
+    /// The derived tuple.
+    pub tuple: Tuple,
+    /// Virtual time at which the node handed the tuple to the link.
+    pub sent_at_nanos: u64,
+    /// Virtual time at which the tuple arrived at the subscriber.
+    pub arrived_at_nanos: u64,
+}
+
+impl DeliveredTuple {
+    /// The simulated network latency this tuple experienced.
+    #[must_use]
+    pub fn latency(&self) -> Duration {
+        Duration::from_nanos(self.arrived_at_nanos - self.sent_at_nanos)
+    }
+}
+
+/// A subscription whose deliveries travel the node → subscriber link of the
+/// simulated topology. Owned by the consumer; poll it after advancing the
+/// fabric's virtual clock.
+pub struct FabricSubscription {
+    node: NodeId,
+    rx: crossbeam::channel::Receiver<Tuple>,
+    link: SimLink<(u64, Tuple)>,
+    clock: ManualClock,
+    delivered: u64,
+}
+
+impl FabricSubscription {
+    /// The node the subscribed stream lives on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Pull newly derived tuples from the node into the link (stamping each
+    /// with its simulated arrival time), then deliver everything that has
+    /// arrived by the fabric's current virtual time, in arrival order.
+    ///
+    /// Tuples whose arrival time is still in the future stay in flight;
+    /// advance the fabric clock and poll again to receive them.
+    pub fn poll(&mut self) -> Vec<DeliveredTuple> {
+        let now = self.clock.now_nanos();
+        for tuple in self.rx.try_iter() {
+            let bytes = tuple.approx_size_bytes();
+            self.link.send(now, bytes, (now, tuple));
+        }
+        let ready = self.link.drain_ready(now);
+        self.delivered += ready.len() as u64;
+        ready
+            .into_iter()
+            .map(|(arrived_at_nanos, (sent_at_nanos, tuple))| DeliveredTuple {
+                tuple,
+                sent_at_nanos,
+                arrived_at_nanos,
+            })
+            .collect()
+    }
+
+    /// Tuples queued on the link, not yet past their arrival time. (Tuples
+    /// still in the node-local channel are not counted until the next
+    /// [`FabricSubscription::poll`].)
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.link.in_flight()
+    }
+
+    /// Total tuples delivered to this subscriber so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+/// Fabric-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FabricStats {
+    /// Nodes behind the broker.
+    pub nodes: usize,
+    /// Streams placed across the fabric.
+    pub streams_placed: u64,
+    /// Access requests routed to owner nodes.
+    pub requests_routed: u64,
+    /// Source tuples routed to owner nodes.
+    pub tuples_routed: u64,
+    /// Per-node policy-store operations fanned out by the broker
+    /// (`nodes × (adds + removes + updates)`).
+    pub policy_propagations: u64,
+}
+
+/// The routing broker plus its server nodes.
+///
+/// The broker itself sits at [`NodeId::DataServer`] of the topology (it is
+/// the entity clients and the proxy reach); the shards sit at
+/// [`NodeId::Server`]`(i)`.
+pub struct Fabric {
+    config: FabricConfig,
+    nodes: Vec<FabricNode>,
+    clock: ManualClock,
+    /// Stream → owning node index, recorded at registration and consulted
+    /// first by every routing decision; unregistered streams fall back to
+    /// the rendezvous hash (which registration also used).
+    placements: RwLock<HashMap<String, usize>>,
+    /// Granted handle → owning node index (populated on grant, consulted by
+    /// subscribe/release).
+    handles: RwLock<HashMap<StreamHandle, usize>>,
+    /// Samples broker ↔ node request/response delays.
+    rng: Mutex<StdRng>,
+    /// Seeds handed to per-subscription links, derived deterministically.
+    next_link_seed: AtomicU64,
+    streams_placed: AtomicU64,
+    policy_propagations: AtomicU64,
+}
+
+impl Fabric {
+    /// Build a fabric: one `DataServer` per node, each with its own policy
+    /// store, PDP, engine (minting handles under a distinct host) and a
+    /// node-specific seed.
+    #[must_use]
+    pub fn new(config: FabricConfig) -> Self {
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                let node_config = ServerConfig {
+                    topology: config.topology.clone(),
+                    seed: config.seed.wrapping_add(1 + i as u64),
+                    dsms_host: format!("node{i}"),
+                    ..config.server_template.clone()
+                };
+                FabricNode {
+                    id: NodeId::Server(i as u16),
+                    server: Arc::new(DataServer::new(node_config)),
+                    requests_routed: AtomicU64::new(0),
+                    tuples_routed: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9));
+        Fabric {
+            clock: ManualClock::new(),
+            nodes,
+            placements: RwLock::new(HashMap::new()),
+            handles: RwLock::new(HashMap::new()),
+            rng: Mutex::new(rng),
+            next_link_seed: AtomicU64::new(config.seed.wrapping_add(0xf00d)),
+            streams_placed: AtomicU64::new(0),
+            policy_propagations: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The fabric's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// The nodes behind the broker.
+    #[must_use]
+    pub fn nodes(&self) -> &[FabricNode] {
+        &self.nodes
+    }
+
+    /// The fabric's virtual clock (shared with subscriptions).
+    #[must_use]
+    pub fn clock(&self) -> &ManualClock {
+        &self.clock
+    }
+
+    /// Advance the virtual clock, making in-flight deliveries whose arrival
+    /// time has passed available to [`FabricSubscription::poll`].
+    pub fn advance(&self, by: Duration) {
+        self.clock.advance(by);
+    }
+
+    /// Fabric-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            nodes: self.nodes.len(),
+            streams_placed: self.streams_placed.load(Ordering::Relaxed),
+            requests_routed: self.nodes.iter().map(FabricNode::requests_routed).sum(),
+            tuples_routed: self.nodes.iter().map(FabricNode::tuples_routed).sum(),
+            policy_propagations: self.policy_propagations.load(Ordering::Relaxed),
+        }
+    }
+
+    // --- placement ---------------------------------------------------------
+
+    /// The node that owns a stream, by rendezvous hashing: the owner is the
+    /// node whose `hash(stream, node)` weight is highest. Deterministic,
+    /// uniform, and independent of registration order.
+    #[must_use]
+    pub fn owner_of(&self, stream: &str) -> NodeId {
+        self.nodes[self.owner_index(stream)].id
+    }
+
+    fn owner_index(&self, stream: &str) -> usize {
+        let canonical = stream.to_ascii_lowercase();
+        // The placement recorded at registration is authoritative; the
+        // rendezvous hash (identical at registration time) covers streams
+        // that were never registered, so owner prediction still works.
+        if let Some(&index) = self.placements.read().get(&canonical) {
+            return index;
+        }
+        (0..self.nodes.len())
+            .max_by_key(|&i| rendezvous_weight(&canonical, i))
+            .expect("a fabric has at least one node")
+    }
+
+    fn node_for_stream(&self, stream: &str) -> &FabricNode {
+        &self.nodes[self.owner_index(stream)]
+    }
+
+    fn node_for_handle(&self, handle: &StreamHandle) -> Result<&FabricNode, ExacmlError> {
+        let index = self
+            .handles
+            .read()
+            .get(handle)
+            .copied()
+            .ok_or_else(|| ExacmlError::UnknownHandle(handle.uri().to_string()))?;
+        Ok(&self.nodes[index])
+    }
+
+    /// Sample the simulated broker → node → broker round trip.
+    fn broker_round_trip(
+        &self,
+        node: NodeId,
+        request_bytes: usize,
+        reply_bytes: usize,
+    ) -> Duration {
+        let mut rng = self.rng.lock();
+        self.config.topology.round_trip(
+            NodeId::DataServer,
+            node,
+            request_bytes,
+            reply_bytes,
+            &mut *rng,
+        )
+    }
+
+    // --- stream + data plane ----------------------------------------------
+
+    /// Register an input stream on its owning node.
+    ///
+    /// # Errors
+    /// Fails when the name is taken on the owner or the schema invalid.
+    pub fn register_stream(&self, name: &str, schema: Schema) -> Result<NodeId, ExacmlError> {
+        let index = self.owner_index(name);
+        self.nodes[index].server.register_stream(name, schema)?;
+        self.placements.write().insert(name.to_ascii_lowercase(), index);
+        self.streams_placed.fetch_add(1, Ordering::Relaxed);
+        Ok(self.nodes[index].id)
+    }
+
+    /// Push one source tuple to the stream's owner node.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown on its owner or the tuple malformed.
+    pub fn push(&self, stream: &str, tuple: Tuple) -> Result<usize, ExacmlError> {
+        let node = self.node_for_stream(stream);
+        let emitted = node.server.push(stream, tuple)?;
+        node.tuples_routed.fetch_add(1, Ordering::Relaxed);
+        Ok(emitted)
+    }
+
+    /// Push a batch of source tuples to the stream's owner node.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown on its owner or any tuple malformed.
+    pub fn push_batch(
+        &self,
+        stream: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, ExacmlError> {
+        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        let count = batch.len() as u64;
+        let node = self.node_for_stream(stream);
+        let emitted = node.server.push_batch(stream, batch)?;
+        node.tuples_routed.fetch_add(count, Ordering::Relaxed);
+        Ok(emitted)
+    }
+
+    // --- control plane -----------------------------------------------------
+
+    /// Route an access request to the node owning the target stream and run
+    /// the Section 3.2 workflow there, charging the broker → node hop.
+    ///
+    /// # Errors
+    /// Propagates the owner node's workflow errors
+    /// ([`ExacmlError::AccessDenied`], [`ExacmlError::MultipleAccess`], …).
+    pub fn handle_request(
+        &self,
+        request: &Request,
+        user_query: Option<&UserQuery>,
+    ) -> Result<FabricResponse, ExacmlError> {
+        let stream = request
+            .resource_id()
+            .ok_or_else(|| ExacmlError::IncompleteRequest("missing resource-id".into()))?;
+        let index = self.owner_index(stream);
+        let node = &self.nodes[index];
+        let request_bytes = exacml_xacml::xml::write_request(request).len()
+            + user_query.map_or(0, |q| q.to_xml().len());
+        let broker_network = self.broker_round_trip(node.id, request_bytes, 128);
+        node.requests_routed.fetch_add(1, Ordering::Relaxed);
+        let response = node.server.handle_request(request, user_query)?;
+        self.handles.write().insert(response.handle.clone(), index);
+        Ok(FabricResponse { node: node.id, response, broker_network })
+    }
+
+    /// Release the access a subject holds on a stream at its owner node.
+    /// Returns `true` when something was released (unknown pairs and double
+    /// releases are no-ops, exactly as on a single server).
+    pub fn release_access(&self, subject: &str, stream: &str) -> bool {
+        let released = self.node_for_stream(stream).server.release_access(subject, stream);
+        if released {
+            self.prune_dead_handles();
+        }
+        released
+    }
+
+    /// Drop routing entries whose deployment is gone, so grant/release and
+    /// policy churn do not grow the handle map without bound.
+    fn prune_dead_handles(&self) {
+        self.handles
+            .write()
+            .retain(|handle, index| self.nodes[*index].server.handle_is_live(handle));
+    }
+
+    /// Whether a granted handle still points at a live deployment on its
+    /// node. Unknown handles are simply not live.
+    #[must_use]
+    pub fn handle_is_live(&self, handle: &StreamHandle) -> bool {
+        self.node_for_handle(handle).is_ok_and(|node| node.server.handle_is_live(handle))
+    }
+
+    /// Subscribe to a granted handle. Deliveries travel the node → broker
+    /// link of the topology: poll the subscription after advancing the
+    /// fabric's virtual clock.
+    ///
+    /// # Errors
+    /// Fails when the handle was not granted through this fabric or the
+    /// deployment behind it is gone.
+    pub fn subscribe(&self, handle: &StreamHandle) -> Result<FabricSubscription, ExacmlError> {
+        let node = self.node_for_handle(handle)?;
+        let rx = match node.server.subscribe(handle) {
+            Ok(rx) => rx,
+            Err(error) => {
+                // The deployment is gone (released or withdrawn by a policy
+                // change): evict the routing entry and report the handle as
+                // unknown, exactly as for a handle never granted here.
+                if matches!(error, ExacmlError::Dsms(exacml_dsms::DsmsError::UnknownHandle(_))) {
+                    self.handles.write().remove(handle);
+                    return Err(ExacmlError::UnknownHandle(handle.uri().to_string()));
+                }
+                return Err(error);
+            }
+        };
+        let link_spec: LinkSpec = self.config.topology.link(node.id, NodeId::DataServer);
+        let seed = self.next_link_seed.fetch_add(1, Ordering::Relaxed);
+        Ok(FabricSubscription {
+            node: node.id,
+            rx,
+            link: SimLink::new(link_spec, seed),
+            clock: self.clock.clone(),
+            delivered: 0,
+        })
+    }
+
+    // --- policy plane (fabric-wide propagation) ----------------------------
+
+    /// Load a policy on **every** node. Each node's store revision advances,
+    /// invalidating its PDP decision cache. Returns the slowest node's load
+    /// time (the broker waits for full propagation).
+    ///
+    /// # Errors
+    /// Fails if any node rejects the policy; earlier nodes keep it (the
+    /// caller can retry — ids make the operation idempotent per node).
+    pub fn load_policy(&self, policy: Policy) -> Result<Duration, ExacmlError> {
+        let mut slowest = Duration::ZERO;
+        for node in &self.nodes {
+            let elapsed = node.server.load_policy(policy.clone())?;
+            slowest = slowest.max(elapsed);
+        }
+        self.policy_propagations.fetch_add(self.nodes.len() as u64, Ordering::Relaxed);
+        Ok(slowest)
+    }
+
+    /// Remove a policy on **every** node; query graphs it spawned are
+    /// withdrawn wherever they live. Returns the total number of withdrawn
+    /// deployments across the fabric.
+    ///
+    /// # Errors
+    /// Fails when the policy is unknown (on the first node — propagation is
+    /// all-or-nothing for a policy that was loaded through the broker).
+    pub fn remove_policy(&self, policy_id: &str) -> Result<usize, ExacmlError> {
+        let mut withdrawn = 0;
+        for node in &self.nodes {
+            withdrawn += node.server.remove_policy(policy_id)?;
+        }
+        self.policy_propagations.fetch_add(self.nodes.len() as u64, Ordering::Relaxed);
+        if withdrawn > 0 {
+            self.prune_dead_handles();
+        }
+        Ok(withdrawn)
+    }
+
+    /// Replace a policy on **every** node; as with removal, existing query
+    /// graphs spawned by the old version are withdrawn fabric-wide. Returns
+    /// the total number of withdrawn deployments.
+    ///
+    /// # Errors
+    /// Fails when the policy is unknown or the new version invalid.
+    pub fn update_policy(&self, policy: Policy) -> Result<usize, ExacmlError> {
+        let mut withdrawn = 0;
+        for node in &self.nodes {
+            withdrawn += node.server.update_policy(policy.clone())?;
+        }
+        self.policy_propagations.fetch_add(self.nodes.len() as u64, Ordering::Relaxed);
+        if withdrawn > 0 {
+            self.prune_dead_handles();
+        }
+        Ok(withdrawn)
+    }
+
+    /// Number of live deployments across all nodes.
+    #[must_use]
+    pub fn live_deployments(&self) -> usize {
+        self.nodes.iter().map(|n| n.server.live_deployments()).sum()
+    }
+
+    /// Number of handle → node routing entries currently tracked. Dead
+    /// entries are pruned on release and on policy withdrawal, so this
+    /// tracks the live-handle population rather than growing with churn.
+    #[must_use]
+    pub fn routed_handles(&self) -> usize {
+        self.handles.read().len()
+    }
+}
+
+/// FNV-1a over the stream name and node index — the per-node weight of
+/// rendezvous hashing.
+fn rendezvous_weight(stream: &str, node_index: usize) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in stream.bytes().chain(node_index.to_le_bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obligations::StreamPolicyBuilder;
+    use exacml_dsms::Value;
+
+    fn weather_tuple(schema: &Arc<Schema>, i: i64, rain: f64) -> Tuple {
+        Tuple::builder_shared(schema)
+            .set("samplingtime", Value::Timestamp(i * 30_000))
+            .set("rainrate", rain)
+            .finish_with_defaults()
+    }
+
+    fn fabric_with_streams(nodes: usize, streams: usize) -> (Fabric, Vec<String>) {
+        let fabric = Fabric::new(FabricConfig::local(nodes));
+        let names: Vec<String> = (0..streams).map(|i| format!("stream{i}")).collect();
+        for name in &names {
+            fabric.register_stream(name, Schema::weather_example()).unwrap();
+        }
+        (fabric, names)
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_covers_all_nodes() {
+        let (fabric, names) = fabric_with_streams(4, 64);
+        let mut per_node = vec![0usize; 4];
+        for name in &names {
+            let owner = fabric.owner_of(name);
+            assert_eq!(owner, fabric.owner_of(name), "placement must be stable");
+            let NodeId::Server(i) = owner else { panic!("owner must be a server shard") };
+            per_node[i as usize] += 1;
+            // The stream exists exactly on its owner.
+            for node in fabric.nodes() {
+                let has = node.server.engine().stream_schema(name).is_ok();
+                assert_eq!(has, node.id() == owner, "stream {name} misplaced on {}", node.id());
+            }
+        }
+        assert!(per_node.iter().all(|&c| c > 0), "rendezvous spread: {per_node:?}");
+        assert_eq!(fabric.stats().streams_placed, 64);
+        // Case-insensitive, like the rest of the stack's stream handling.
+        assert_eq!(fabric.owner_of("STREAM7"), fabric.owner_of("stream7"));
+    }
+
+    #[test]
+    fn rendezvous_moves_few_streams_when_a_node_joins() {
+        let names: Vec<String> = (0..200).map(|i| format!("s{i}")).collect();
+        let small = Fabric::new(FabricConfig::local(4));
+        let large = Fabric::new(FabricConfig::local(5));
+        let moved = names
+            .iter()
+            .filter(|n| {
+                small.owner_of(n) != large.owner_of(n)
+                    && matches!(small.owner_of(n), NodeId::Server(_))
+            })
+            .count();
+        // Expect ~1/5 of streams to move; allow generous slack.
+        assert!(moved > 10 && moved < 90, "moved {moved}/200");
+        // Every moved stream landed on the new node.
+        for name in &names {
+            if small.owner_of(name) != large.owner_of(name) {
+                assert_eq!(large.owner_of(name), NodeId::Server(4));
+            }
+        }
+    }
+
+    #[test]
+    fn requests_route_to_the_owner_and_grant_handles() {
+        let (fabric, names) = fabric_with_streams(3, 9);
+        for (i, name) in names.iter().enumerate() {
+            let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
+                .subject(format!("user{i}"))
+                .filter("rainrate > 5")
+                .build();
+            fabric.load_policy(policy).unwrap();
+        }
+        for (i, name) in names.iter().enumerate() {
+            let response = fabric
+                .handle_request(&Request::subscribe(&format!("user{i}"), name), None)
+                .unwrap();
+            assert_eq!(response.node, fabric.owner_of(name));
+            assert!(fabric.handle_is_live(&response.response.handle));
+            assert!(response.total_latency() >= response.broker_network);
+        }
+        let stats = fabric.stats();
+        assert_eq!(stats.requests_routed, 9);
+        // Requests landed where the streams live.
+        for node in fabric.nodes() {
+            let owned = names.iter().filter(|n| fabric.owner_of(n) == node.id()).count() as u64;
+            assert_eq!(node.requests_routed(), owned);
+        }
+    }
+
+    #[test]
+    fn data_routes_to_the_owner_node() {
+        let (fabric, names) = fabric_with_streams(3, 6);
+        let schema = Schema::weather_example().shared();
+        for name in &names {
+            let batch: Vec<Tuple> = (0..10).map(|i| weather_tuple(&schema, i, 10.0)).collect();
+            fabric.push_batch(name, batch).unwrap();
+            fabric.push(name, weather_tuple(&schema, 10, 1.0)).unwrap();
+        }
+        assert_eq!(fabric.stats().tuples_routed, 6 * 11);
+        let per_node_ingested: u64 =
+            fabric.nodes().iter().map(|n| n.server.engine_stats().tuples_ingested).sum();
+        assert_eq!(per_node_ingested, 6 * 11);
+        for node in fabric.nodes() {
+            assert_eq!(node.tuples_routed(), node.server.engine_stats().tuples_ingested);
+        }
+        assert!(fabric.push("unregistered", weather_tuple(&schema, 0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn policy_propagation_reaches_every_node_and_bumps_revisions() {
+        let fabric = Fabric::new(FabricConfig::local(3));
+        fabric.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build();
+        let before: Vec<u64> =
+            fabric.nodes().iter().map(|n| n.server.policy_store().revision()).collect();
+        fabric.load_policy(policy).unwrap();
+        for (node, revision) in fabric.nodes().iter().zip(&before) {
+            assert_eq!(node.server.policy_count(), 1);
+            assert!(node.server.policy_store().revision() > *revision);
+        }
+        assert_eq!(fabric.stats().policy_propagations, 3);
+
+        let updated =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 50").build();
+        fabric.update_policy(updated).unwrap();
+        fabric.remove_policy("p").unwrap();
+        for node in fabric.nodes() {
+            assert_eq!(node.server.policy_count(), 0);
+        }
+        assert_eq!(fabric.stats().policy_propagations, 9);
+        assert!(fabric.remove_policy("p").is_err());
+    }
+
+    #[test]
+    fn subscription_delivers_through_the_virtual_clock() {
+        let fabric = Fabric::new(FabricConfig::paper_testbed(2));
+        fabric.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build();
+        fabric.load_policy(policy).unwrap();
+        let granted = fabric.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let mut subscription = fabric.subscribe(&granted.response.handle).unwrap();
+        assert_eq!(subscription.node(), fabric.owner_of("weather"));
+
+        let schema = Schema::weather_example().shared();
+        let batch: Vec<Tuple> = (0..20).map(|i| weather_tuple(&schema, i, 10.0)).collect();
+        assert_eq!(fabric.push_batch("weather", batch).unwrap(), 20);
+
+        // Nothing has arrived yet: the LAN link's latency is > 0 virtual time.
+        assert!(subscription.poll().is_empty());
+        assert_eq!(subscription.in_flight(), 20);
+
+        // Advance far enough for every tuple to arrive.
+        fabric.advance(Duration::from_secs(1));
+        let delivered = subscription.poll();
+        assert_eq!(delivered.len(), 20);
+        assert_eq!(subscription.delivered(), 20);
+        assert_eq!(subscription.in_flight(), 0);
+        // Arrival order is the send order and timestamps are monotone.
+        for pair in delivered.windows(2) {
+            assert!(pair[1].arrived_at_nanos >= pair[0].arrived_at_nanos);
+            assert!(
+                pair[1].tuple.event_time().unwrap() > pair[0].tuple.event_time().unwrap(),
+                "FIFO delivery must preserve send order"
+            );
+        }
+        // Latency includes the LAN link's base propagation delay.
+        for d in &delivered {
+            assert!(d.latency() >= Duration::from_micros(200), "latency {:?}", d.latency());
+        }
+        // Exactly-once: nothing more arrives.
+        fabric.advance(Duration::from_secs(1));
+        assert!(subscription.poll().is_empty());
+    }
+
+    #[test]
+    fn handle_routing_entries_do_not_grow_with_grant_release_churn() {
+        let fabric = Fabric::new(FabricConfig::local(2));
+        fabric.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build();
+        fabric.load_policy(policy).unwrap();
+        for _ in 0..10 {
+            let granted =
+                fabric.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+            assert_eq!(fabric.routed_handles(), 1);
+            assert!(fabric.release_access("LTA", "weather"));
+            assert_eq!(fabric.routed_handles(), 0, "released handles must be pruned");
+            let _ = granted;
+        }
+        // Policy withdrawal prunes too.
+        let granted = fabric.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert_eq!(fabric.routed_handles(), 1);
+        assert_eq!(fabric.remove_policy("p").unwrap(), 1);
+        assert_eq!(fabric.routed_handles(), 0);
+        assert!(!fabric.handle_is_live(&granted.response.handle));
+    }
+
+    #[test]
+    fn unknown_handles_are_rejected_and_not_live() {
+        let fabric = Fabric::new(FabricConfig::local(2));
+        let foreign = StreamHandle::mint("elsewhere", 7);
+        assert!(!fabric.handle_is_live(&foreign));
+        assert!(matches!(fabric.subscribe(&foreign), Err(ExacmlError::UnknownHandle(_))));
+        let incomplete = Request::new();
+        assert!(matches!(
+            fabric.handle_request(&incomplete, None),
+            Err(ExacmlError::IncompleteRequest(_))
+        ));
+    }
+
+    #[test]
+    fn nodes_mint_globally_unique_handles() {
+        let (fabric, names) = fabric_with_streams(4, 16);
+        let mut seen = std::collections::HashSet::new();
+        for (i, name) in names.iter().enumerate() {
+            let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
+                .subject("LTA")
+                .filter("rainrate > 5")
+                .build();
+            fabric.load_policy(policy).unwrap();
+            let granted = fabric.handle_request(&Request::subscribe("LTA", name), None).unwrap();
+            assert!(
+                seen.insert(granted.response.handle.uri().to_string()),
+                "duplicate handle URI across nodes"
+            );
+        }
+    }
+}

@@ -27,13 +27,17 @@
 //! cache and client interface — live in [`server`], [`proxy`] and
 //! [`client`]; per-request timing (PDP / query-graph / DSMS / network) is
 //! collected in [`metrics`], which is what the evaluation figures are built
-//! from.
+//! from. [`fabric`] scales the data server out: N nodes (each with its own
+//! PDP, policy store and engine) behind a routing broker over simulated
+//! links, with consistent stream placement, fabric-wide policy propagation
+//! and virtual-clock-driven subscriber delivery.
 
 pub mod access_guard;
 pub mod attack;
 pub mod audit;
 pub mod client;
 pub mod error;
+pub mod fabric;
 pub mod graph_mgmt;
 pub mod merge;
 pub mod metrics;
@@ -47,6 +51,10 @@ pub use access_guard::AccessGuard;
 pub use audit::{AuditEvent, AuditEventKind, AuditLog};
 pub use client::{ClientInterface, RequestResult};
 pub use error::ExacmlError;
+pub use fabric::{
+    DeliveredTuple, Fabric, FabricConfig, FabricNode, FabricResponse, FabricStats,
+    FabricSubscription,
+};
 pub use merge::{merge_graphs, MergeOptions, MergeOutcome};
 pub use metrics::{RequestTiming, TimingBreakdown};
 pub use obligations::{graph_from_obligations, obligations_from_graph, StreamPolicyBuilder};
@@ -60,6 +68,10 @@ pub mod prelude {
     pub use crate::access_guard::AccessGuard;
     pub use crate::client::{ClientInterface, RequestResult};
     pub use crate::error::ExacmlError;
+    pub use crate::fabric::{
+        DeliveredTuple, Fabric, FabricConfig, FabricNode, FabricResponse, FabricStats,
+        FabricSubscription,
+    };
     pub use crate::merge::{merge_graphs, MergeOptions, MergeOutcome};
     pub use crate::metrics::{RequestTiming, TimingBreakdown};
     pub use crate::obligations::{

@@ -45,6 +45,9 @@ pub struct ServerConfig {
     pub topology: Topology,
     /// Seed for the network-delay sampling (reproducible experiments).
     pub seed: u64,
+    /// Host name used in the stream handles (URIs) this server's DSMS mints.
+    /// Fabric nodes get distinct hosts so handles stay globally unique.
+    pub dsms_host: String,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +57,7 @@ impl Default for ServerConfig {
             deploy_on_partial_result: false,
             topology: Topology::paper_testbed(),
             seed: 42,
+            dsms_host: "dsms".to_string(),
         }
     }
 }
@@ -114,11 +118,12 @@ impl DataServer {
         let store = Arc::new(PolicyStore::new());
         let pdp = Pdp::new(Arc::clone(&store));
         let rng = StdRng::seed_from_u64(config.seed);
+        let engine = Arc::new(StreamEngine::with_host(&config.dsms_host));
         DataServer {
             config,
             store,
             pdp,
-            engine: Arc::new(StreamEngine::new()),
+            engine,
             graphs: Mutex::new(QueryGraphManager::new()),
             guard: Mutex::new(AccessGuard::new()),
             rng: Mutex::new(rng),
@@ -149,6 +154,13 @@ impl DataServer {
     #[must_use]
     pub fn policy_store(&self) -> &Arc<PolicyStore> {
         &self.store
+    }
+
+    /// The server's PDP (read-only access for observability: cache size,
+    /// direct evaluation in tests, fabric propagation checks).
+    #[must_use]
+    pub fn pdp(&self) -> &Pdp {
+        &self.pdp
     }
 
     /// The back-end stream engine. Shared: the engine is internally
@@ -844,6 +856,65 @@ mod tests {
         assert!(timing.total >= timing.dsms);
         // A malformed script is rejected.
         assert!(server.direct_deploy("garbage").is_err());
+    }
+
+    #[test]
+    fn release_of_unknown_pairs_and_double_release_are_noops_with_stable_stats() {
+        let server = server_with_weather();
+        let request = Request::subscribe("LTA", "weather");
+        let response = server.handle_request(&request, None).unwrap();
+        let stats_before = server.engine_stats();
+        let audit_before = server.audit_events().len();
+
+        // Unknown subject, unknown stream, unknown both: all no-ops.
+        assert!(!server.release_access("EMA", "weather"));
+        assert!(!server.release_access("LTA", "gps"));
+        assert!(!server.release_access("nobody", "nothing"));
+        assert_eq!(server.engine_stats(), stats_before);
+        assert_eq!(server.audit_events().len(), audit_before);
+        assert!(server.handle_is_live(&response.handle));
+        assert_eq!(server.live_deployments(), 1);
+
+        // A real release withdraws exactly one deployment...
+        assert!(server.release_access("LTA", "weather"));
+        let stats_released = server.engine_stats();
+        assert_eq!(stats_released.deployments_withdrawn, stats_before.deployments_withdrawn + 1);
+        assert!(!server.handle_is_live(&response.handle));
+
+        // ...and the double release is a no-op with stable stats again.
+        assert!(!server.release_access("LTA", "weather"));
+        assert!(!server.release_access("lta", "WEATHER")); // case-insensitive key
+        assert_eq!(server.engine_stats(), stats_released);
+        assert_eq!(server.live_deployments(), 0);
+    }
+
+    #[test]
+    fn release_after_policy_removal_is_a_noop() {
+        let server = server_with_weather();
+        let request = Request::subscribe("LTA", "weather");
+        let response = server.handle_request(&request, None).unwrap();
+        // The policy removal already withdrew the graph and freed the guard
+        // slot; a subsequent client release must be a clean no-op.
+        server.remove_policy("nea-weather-for-lta").unwrap();
+        let stats = server.engine_stats();
+        assert!(!server.release_access("LTA", "weather"));
+        assert_eq!(server.engine_stats(), stats);
+        assert!(!server.handle_is_live(&response.handle));
+    }
+
+    #[test]
+    fn handle_is_live_is_false_for_foreign_and_withdrawn_handles() {
+        let server = server_with_weather();
+        // Never-granted handles (wrong host, wrong id) are simply not live.
+        assert!(!server.handle_is_live(&StreamHandle::from_uri("exacml://elsewhere/streams/0")));
+        assert!(!server.handle_is_live(&StreamHandle::mint("other-host", 99)));
+
+        let response = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(server.handle_is_live(&response.handle));
+        server.release_access("LTA", "weather");
+        assert!(!server.handle_is_live(&response.handle));
+        // Liveness stays false on repeated queries (no resurrection).
+        assert!(!server.handle_is_live(&response.handle));
     }
 
     #[test]

@@ -21,15 +21,18 @@
 
 pub mod clock;
 pub mod link;
+pub mod queue;
 pub mod topology;
 
 pub use clock::{Clock, ManualClock, SimClock, WallClock};
 pub use link::{LatencyModel, LinkSpec};
+pub use queue::{DeliveryQueue, SimLink};
 pub use topology::{NodeId, Topology};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::clock::{Clock, ManualClock, SimClock, WallClock};
     pub use crate::link::{LatencyModel, LinkSpec};
+    pub use crate::queue::{DeliveryQueue, SimLink};
     pub use crate::topology::{NodeId, Topology};
 }

@@ -1,0 +1,227 @@
+//! Per-link delivery queues drained by the virtual clock.
+//!
+//! The brokering fabric ships messages (tuples, requests) between nodes over
+//! [`LinkSpec`]s. Instead of sleeping for the sampled delay, a sender
+//! enqueues the message with its computed **arrival time** into a
+//! [`DeliveryQueue`]; the receiver drains everything whose arrival time has
+//! passed whenever the virtual clock advances. This keeps experiments
+//! instantaneous and deterministic while still producing end-to-end
+//! latencies that include propagation, jitter and serialisation cost.
+//!
+//! [`SimLink`] bundles one directed link with its queue and RNG and enforces
+//! the FIFO property of a real network link: a message never overtakes one
+//! sent before it on the same link, so arrival timestamps on a link are
+//! non-decreasing even when the sampled jitter would invert them.
+
+use crate::link::LinkSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued message: ordered by arrival time, then by send sequence so
+/// simultaneous arrivals drain in send order.
+#[derive(Debug)]
+struct Queued<T> {
+    arrival_nanos: u64,
+    sequence: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Queued<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival_nanos == other.arrival_nanos && self.sequence == other.sequence
+    }
+}
+impl<T> Eq for Queued<T> {}
+impl<T> PartialOrd for Queued<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Queued<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival_nanos, self.sequence).cmp(&(other.arrival_nanos, other.sequence))
+    }
+}
+
+/// A time-ordered in-flight message queue. Messages are enqueued with an
+/// absolute arrival time and drained once the (virtual) clock reaches it.
+#[derive(Debug)]
+pub struct DeliveryQueue<T> {
+    heap: BinaryHeap<Reverse<Queued<T>>>,
+    next_sequence: u64,
+}
+
+impl<T> Default for DeliveryQueue<T> {
+    fn default() -> Self {
+        DeliveryQueue { heap: BinaryHeap::new(), next_sequence: 0 }
+    }
+}
+
+impl<T> DeliveryQueue<T> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        DeliveryQueue::default()
+    }
+
+    /// Enqueue a message arriving at the given absolute time.
+    pub fn enqueue(&mut self, arrival_nanos: u64, item: T) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Reverse(Queued { arrival_nanos, sequence, item }));
+    }
+
+    /// Remove and return every message whose arrival time is `<= now_nanos`,
+    /// in arrival order (ties broken by send order).
+    pub fn drain_ready(&mut self, now_nanos: u64) -> Vec<(u64, T)> {
+        let mut ready = Vec::new();
+        while self.heap.peek().is_some_and(|Reverse(q)| q.arrival_nanos <= now_nanos) {
+            let Reverse(q) = self.heap.pop().expect("peek saw an entry");
+            ready.push((q.arrival_nanos, q.item));
+        }
+        ready
+    }
+
+    /// Arrival time of the earliest in-flight message, if any.
+    #[must_use]
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(q)| q.arrival_nanos)
+    }
+
+    /// Number of in-flight messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no messages are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One directed network link with its in-flight queue: sending samples the
+/// link's delay model and enqueues the message at `now + delay`, clamped so
+/// arrivals on the link are FIFO (non-decreasing arrival times).
+#[derive(Debug)]
+pub struct SimLink<T> {
+    spec: LinkSpec,
+    rng: StdRng,
+    queue: DeliveryQueue<T>,
+    last_arrival_nanos: u64,
+}
+
+impl<T> SimLink<T> {
+    /// A link with a deterministic delay-sampling seed.
+    #[must_use]
+    pub fn new(spec: LinkSpec, seed: u64) -> Self {
+        SimLink {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            queue: DeliveryQueue::new(),
+            last_arrival_nanos: 0,
+        }
+    }
+
+    /// The link's specification.
+    #[must_use]
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Send a message of `bytes` bytes at (virtual) time `now_nanos`.
+    /// Returns the arrival time assigned to it.
+    pub fn send(&mut self, now_nanos: u64, bytes: usize, item: T) -> u64 {
+        let delay = self.spec.sample_delay(bytes, &mut self.rng);
+        let arrival = (now_nanos + delay.as_nanos() as u64).max(self.last_arrival_nanos);
+        self.last_arrival_nanos = arrival;
+        self.queue.enqueue(arrival, item);
+        arrival
+    }
+
+    /// Deliver every message that has arrived by `now_nanos`, in arrival
+    /// order.
+    pub fn drain_ready(&mut self, now_nanos: u64) -> Vec<(u64, T)> {
+        self.queue.drain_ready(now_nanos)
+    }
+
+    /// Arrival time of the earliest in-flight message, if any.
+    #[must_use]
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queue.next_arrival()
+    }
+
+    /// Number of in-flight messages.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_drains_in_arrival_order() {
+        let mut q = DeliveryQueue::new();
+        q.enqueue(300, "c");
+        q.enqueue(100, "a");
+        q.enqueue(200, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_arrival(), Some(100));
+        assert_eq!(q.drain_ready(50), Vec::<(u64, &str)>::new());
+        assert_eq!(q.drain_ready(200), vec![(100, "a"), (200, "b")]);
+        assert_eq!(q.drain_ready(1_000), vec![(300, "c")]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_arrivals_drain_in_send_order() {
+        let mut q = DeliveryQueue::new();
+        q.enqueue(100, 1);
+        q.enqueue(100, 2);
+        q.enqueue(100, 3);
+        assert_eq!(q.drain_ready(100), vec![(100, 1), (100, 2), (100, 3)]);
+    }
+
+    #[test]
+    fn link_messages_never_overtake_each_other() {
+        // A jittery link: raw sampled delays can invert; arrivals must not.
+        let mut link = SimLink::new(LinkSpec::lan_100mbps(), 7);
+        let mut previous = 0;
+        for i in 0..500 {
+            let arrival = link.send(i * 10, 256, i);
+            assert!(arrival >= previous, "message {i} overtook its predecessor");
+            previous = arrival;
+        }
+        let delivered = link.drain_ready(u64::MAX);
+        assert_eq!(delivered.len(), 500);
+        let order: Vec<u64> = delivered.iter().map(|(_, i)| *i).collect();
+        assert_eq!(order, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn link_arrival_includes_latency_and_serialisation() {
+        let mut link = SimLink::new(LinkSpec::constant(500.0, 100.0), 1);
+        // 500 µs latency + 1250 bytes * 8 bits / 100 Mbps = 100 µs.
+        let arrival = link.send(0, 1_250, ());
+        assert_eq!(arrival, 600_000);
+        assert_eq!(link.in_flight(), 1);
+        assert!(link.drain_ready(599_999).is_empty());
+        assert_eq!(link.drain_ready(600_000).len(), 1);
+    }
+
+    #[test]
+    fn link_sampling_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut link = SimLink::new(LinkSpec::lan_100mbps(), seed);
+            (0..50).map(|i| link.send(i * 1_000, 128, ())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -23,16 +23,23 @@ pub enum NodeId {
     DataServer,
     /// The back-end DSMS host (StreamBase in the paper, `exacml-dsms` here).
     Dsms,
+    /// A scale-out data-server shard of the brokering fabric (PR 3): each
+    /// one hosts its own PDP, policy store and stream engine behind the
+    /// routing broker. Links for server nodes fall back to the topology's
+    /// default unless overridden.
+    Server(u16),
 }
 
 impl NodeId {
-    /// All nodes of the paper's testbed.
+    /// All nodes of the paper's four-machine testbed (fabric server shards
+    /// are open-ended and not enumerated here).
     #[must_use]
     pub fn all() -> [NodeId; 4] {
         [NodeId::Client, NodeId::Proxy, NodeId::DataServer, NodeId::Dsms]
     }
 
-    /// Human-readable name.
+    /// Human-readable name (fabric shards share the generic `server` name;
+    /// their `Display` form carries the index).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -40,13 +47,17 @@ impl NodeId {
             NodeId::Proxy => "proxy",
             NodeId::DataServer => "data-server",
             NodeId::Dsms => "dsms",
+            NodeId::Server(_) => "server",
         }
     }
 }
 
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            NodeId::Server(index) => write!(f, "server-{index}"),
+            other => f.write_str(other.name()),
+        }
     }
 }
 
@@ -155,6 +166,21 @@ mod tests {
     fn node_names() {
         assert_eq!(NodeId::all().len(), 4);
         assert_eq!(NodeId::Proxy.to_string(), "proxy");
+        assert_eq!(NodeId::Server(3).to_string(), "server-3");
+        assert_eq!(NodeId::Server(3).name(), "server");
+    }
+
+    #[test]
+    fn server_nodes_use_the_default_link_unless_overridden() {
+        let mut t = Topology::paper_testbed();
+        assert_eq!(t.link(NodeId::DataServer, NodeId::Server(0)), LinkSpec::lan_100mbps());
+        t.set_link(NodeId::DataServer, NodeId::Server(0), LinkSpec::constant(150.0, 1000.0));
+        assert_eq!(
+            t.link(NodeId::Server(0), NodeId::DataServer),
+            LinkSpec::constant(150.0, 1000.0)
+        );
+        // Other shards keep the default.
+        assert_eq!(t.link(NodeId::DataServer, NodeId::Server(1)), LinkSpec::lan_100mbps());
     }
 
     #[test]

@@ -92,6 +92,23 @@ impl WeatherFeed {
         let batch = self.take(count);
         engine.push_batch(stream, batch)
     }
+
+    /// Generate `count` records and push them through the brokering fabric
+    /// as one batch; the broker routes the batch to the stream's owner node.
+    /// Returns the number of derived tuples emitted on that node.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown on its owner node or its schema
+    /// differs from the feed's.
+    pub fn pump_into_fabric(
+        &mut self,
+        fabric: &exacml_plus::Fabric,
+        stream: &str,
+        count: usize,
+    ) -> Result<usize, exacml_plus::ExacmlError> {
+        let batch = self.take(count);
+        fabric.push_batch(stream, batch)
+    }
 }
 
 /// A synthetic GPS-track feed.
@@ -165,6 +182,23 @@ impl GpsFeed {
         let batch = self.take(count);
         engine.push_batch(stream, batch)
     }
+
+    /// Generate `count` fixes and push them through the brokering fabric as
+    /// one batch; the broker routes the batch to the stream's owner node.
+    /// Returns the number of derived tuples emitted on that node.
+    ///
+    /// # Errors
+    /// Fails when the stream is unknown on its owner node or its schema
+    /// differs from the feed's.
+    pub fn pump_into_fabric(
+        &mut self,
+        fabric: &exacml_plus::Fabric,
+        stream: &str,
+        count: usize,
+    ) -> Result<usize, exacml_plus::ExacmlError> {
+        let batch = self.take(count);
+        fabric.push_batch(stream, batch)
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +249,28 @@ mod tests {
         engine.register_stream("gps", gps.schema().clone()).unwrap();
         engine.push("weather", weather.next_tuple()).unwrap();
         engine.push("gps", gps.next_tuple()).unwrap();
+    }
+
+    #[test]
+    fn feeds_pump_batches_through_the_fabric() {
+        use exacml_plus::{Fabric, FabricConfig};
+        let fabric = Fabric::new(FabricConfig::local(3));
+        let mut weather = WeatherFeed::paper_default(1);
+        let mut gps = GpsFeed::new(2, "d", 1000);
+        // Several streams so more than one node owns data.
+        for i in 0..6 {
+            fabric.register_stream(&format!("weather{i}"), weather.schema().clone()).unwrap();
+        }
+        fabric.register_stream("gps", gps.schema().clone()).unwrap();
+        for i in 0..6 {
+            assert_eq!(weather.pump_into_fabric(&fabric, &format!("weather{i}"), 20).unwrap(), 0);
+        }
+        assert_eq!(gps.pump_into_fabric(&fabric, "gps", 10).unwrap(), 0);
+        assert_eq!(fabric.stats().tuples_routed, 6 * 20 + 10);
+        let ingested: u64 =
+            fabric.nodes().iter().map(|n| n.server().engine_stats().tuples_ingested).sum();
+        assert_eq!(ingested, 6 * 20 + 10);
+        assert!(weather.pump_into_fabric(&fabric, "nosuch", 1).is_err());
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! identity deployments — deployed and subscribed before any producer starts
 //! and never withdrawn — must observe **every pushed tuple exactly once**,
 //! and the engine counters must reconcile with what the threads did.
+//!
+//! The workload size is overridable through environment variables so the
+//! nightly CI soak job can run the same invariants at a much larger scale:
+//! `STRESS_STREAMS`, `STRESS_BATCHES_PER_STREAM`, `STRESS_BATCH_SIZE`,
+//! `STRESS_CHURN_ROUNDS`.
 
 use exacml_dsms::{QueryGraph, Schema, Tuple, Value};
 use exacml_plus::{DataServer, ServerConfig, StreamPolicyBuilder};
@@ -13,10 +18,9 @@ use exacml_xacml::Request;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-const STREAMS: usize = 4;
-const BATCHES_PER_STREAM: usize = 40;
-const BATCH_SIZE: usize = 25;
-const CHURN_ROUNDS: usize = 30;
+fn knob(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn marker_tuple(schema: &Schema, stream_index: usize, sequence: usize) -> Tuple {
     // Encode (stream, sequence) into the timestamp so receivers can verify
@@ -30,16 +34,21 @@ fn marker_tuple(schema: &Schema, stream_index: usize, sequence: usize) -> Tuple 
 
 #[test]
 fn producers_and_policy_churn_race_without_losing_tuples() {
+    let streams = knob("STRESS_STREAMS", 4);
+    let batches_per_stream = knob("STRESS_BATCHES_PER_STREAM", 40);
+    let batch_size = knob("STRESS_BATCH_SIZE", 25);
+    let churn_rounds = knob("STRESS_CHURN_ROUNDS", 30);
+
     let server = Arc::new(DataServer::new(ServerConfig::local()));
     let schema = Schema::weather_example();
-    for i in 0..STREAMS {
+    for i in 0..streams {
         server.register_stream(&format!("s{i}"), schema.clone()).unwrap();
     }
 
     // Stable observers: one identity deployment per stream, subscribed
     // before any producer starts and never withdrawn.
     let engine = Arc::clone(server.engine());
-    let receivers: Vec<_> = (0..STREAMS)
+    let receivers: Vec<_> = (0..streams)
         .map(|i| {
             let d = engine.deploy(&QueryGraph::identity(format!("s{i}"))).unwrap();
             (d.id, engine.subscribe(&d.output_handle).unwrap())
@@ -48,14 +57,14 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
 
     // Producers: one thread per stream, pushing numbered batches.
     let mut threads = Vec::new();
-    for i in 0..STREAMS {
+    for i in 0..streams {
         let server = Arc::clone(&server);
         let schema = schema.clone();
         threads.push(std::thread::spawn(move || {
             let stream = format!("s{i}");
-            for batch in 0..BATCHES_PER_STREAM {
-                let tuples: Vec<Tuple> = (0..BATCH_SIZE)
-                    .map(|k| marker_tuple(&schema, i, batch * BATCH_SIZE + k))
+            for batch in 0..batches_per_stream {
+                let tuples: Vec<Tuple> = (0..batch_size)
+                    .map(|k| marker_tuple(&schema, i, batch * batch_size + k))
                     .collect();
                 server.push_batch(&stream, tuples).unwrap();
             }
@@ -69,8 +78,8 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
         let server = Arc::clone(&server);
         std::thread::spawn(move || {
             let mut deployed = 0usize;
-            for round in 0..CHURN_ROUNDS {
-                let stream = format!("s{}", round % STREAMS);
+            for round in 0..churn_rounds {
+                let stream = format!("s{}", round % streams);
                 let subject = format!("churn-{round}");
                 let policy_id = format!("p-{round}");
                 let policy = StreamPolicyBuilder::new(&policy_id, &stream)
@@ -105,7 +114,7 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
     let churn_deployed = churn.join().unwrap();
 
     // Every stable observer saw every tuple of its stream exactly once.
-    let per_stream = BATCHES_PER_STREAM * BATCH_SIZE;
+    let per_stream = batches_per_stream * batch_size;
     for (i, (id, rx)) in receivers.iter().enumerate() {
         let received: Vec<i64> =
             rx.try_iter().map(|t| t.event_time().expect("marker timestamp")).collect();
@@ -121,14 +130,14 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
 
     // Engine counters reconcile with the work performed.
     let stats = server.engine_stats();
-    let total_pushed = (STREAMS * per_stream) as u64;
+    let total_pushed = (streams * per_stream) as u64;
     assert_eq!(stats.tuples_ingested, total_pushed);
     // The stable deployments alone account for one emission per pushed
     // tuple; churn deployments can only add to that.
     assert!(stats.tuples_emitted >= total_pushed);
-    assert_eq!(stats.deployments_created, (STREAMS + churn_deployed) as u64);
+    assert_eq!(stats.deployments_created, (streams + churn_deployed) as u64);
     assert_eq!(stats.deployments_withdrawn, churn_deployed as u64);
-    assert_eq!(server.live_deployments(), STREAMS);
+    assert_eq!(server.live_deployments(), streams);
     // All churn policies were removed again.
     assert_eq!(server.policy_count(), 0);
 }

@@ -1,0 +1,249 @@
+//! Integration tests of the distributed brokering fabric: ≥3 `DataServer`
+//! nodes behind the routing broker on `Topology::paper_testbed()`, driven
+//! through the facade crate.
+
+use exacml::exacml_dsms::{Schema, Tuple, Value};
+use exacml::exacml_plus::{ExacmlError, Fabric, FabricConfig, StreamPolicyBuilder};
+use exacml::exacml_simnet::NodeId;
+use exacml::exacml_xacml::{Decision, Request};
+use std::collections::HashSet;
+use std::time::Duration;
+
+const NODES: usize = 3;
+const STREAMS: usize = 12;
+
+fn marker_tuple(schema: &std::sync::Arc<Schema>, stream_index: usize, sequence: usize) -> Tuple {
+    let marker = (stream_index as i64) * 1_000_000_000 + sequence as i64;
+    Tuple::builder_shared(schema)
+        .set("samplingtime", Value::Timestamp(marker))
+        .set("rainrate", 10.0)
+        .finish_with_defaults()
+}
+
+fn testbed_fabric() -> (Fabric, Vec<String>) {
+    let fabric = Fabric::new(FabricConfig::paper_testbed(NODES));
+    let names: Vec<String> = (0..STREAMS).map(|i| format!("stream{i}")).collect();
+    for name in &names {
+        fabric.register_stream(name, Schema::weather_example()).unwrap();
+    }
+    (fabric, names)
+}
+
+#[test]
+fn stream_ownership_routing_is_exact() {
+    let (fabric, names) = testbed_fabric();
+    for (i, name) in names.iter().enumerate() {
+        let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
+            .subject(format!("user{i}"))
+            .filter("rainrate > 5")
+            .build();
+        fabric.load_policy(policy).unwrap();
+    }
+
+    // Every stream lives on exactly one node, and that node is the broker's
+    // deterministic owner.
+    for name in &names {
+        let owner = fabric.owner_of(name);
+        assert!(matches!(owner, NodeId::Server(_)));
+        let hosting: Vec<NodeId> = fabric
+            .nodes()
+            .iter()
+            .filter(|n| n.server().engine().stream_schema(name).is_ok())
+            .map(|n| n.id())
+            .collect();
+        assert_eq!(hosting, vec![owner], "stream {name} must live exactly on its owner");
+    }
+
+    // Requests and data land on the owner; handles stay live and unique.
+    let mut handles = HashSet::new();
+    for (i, name) in names.iter().enumerate() {
+        let response =
+            fabric.handle_request(&Request::subscribe(&format!("user{i}"), name), None).unwrap();
+        assert_eq!(response.node, fabric.owner_of(name), "request for {name} routed off-owner");
+        assert!(fabric.handle_is_live(&response.response.handle));
+        assert!(handles.insert(response.response.handle.uri().to_string()));
+    }
+    for node in fabric.nodes() {
+        let owned = names.iter().filter(|n| fabric.owner_of(n) == node.id()).count();
+        assert_eq!(node.requests_routed(), owned as u64);
+        assert_eq!(node.server().live_deployments(), owned);
+    }
+    assert_eq!(fabric.live_deployments(), STREAMS);
+}
+
+#[test]
+fn policy_update_invalidates_every_nodes_pdp_cache() {
+    let (fabric, _names) = testbed_fabric();
+    let policy = StreamPolicyBuilder::new("shared-policy", "stream0")
+        .subject("LTA")
+        .filter("rainrate > 5")
+        .build();
+    fabric.load_policy(policy).unwrap();
+
+    // Warm every node's decision cache with a direct PDP evaluation.
+    let request = Request::subscribe("LTA", "stream0");
+    for node in fabric.nodes() {
+        let decision = node.server().pdp().evaluate(&request);
+        assert!(decision.is_permit());
+        assert!(node.server().pdp().cached_decisions() >= 1, "cache must be warm");
+    }
+    let revisions: Vec<u64> =
+        fabric.nodes().iter().map(|n| n.server().policy_store().revision()).collect();
+
+    // A policy update at the broker must advance every node's revision
+    // counter and produce the *new* decision on every node (cache miss →
+    // re-evaluation, never a stale permit).
+    let updated = StreamPolicyBuilder::new("shared-policy", "stream0")
+        .subject("LTA")
+        .filter("rainrate > 50")
+        .build();
+    fabric.update_policy(updated).unwrap();
+    for (node, old_revision) in fabric.nodes().iter().zip(&revisions) {
+        assert!(
+            node.server().policy_store().revision() > *old_revision,
+            "node {} revision did not advance",
+            node.id()
+        );
+        let fresh = node.server().pdp().evaluate(&request);
+        assert!(fresh.is_permit());
+        let obligations = format!("{:?}", fresh.obligations);
+        assert!(
+            obligations.contains("rainrate > 50"),
+            "node {} served a stale obligation set: {obligations}",
+            node.id()
+        );
+    }
+
+    // Removal: no node may keep serving the cached permit.
+    fabric.remove_policy("shared-policy").unwrap();
+    for node in fabric.nodes() {
+        let gone = node.server().pdp().evaluate(&request);
+        assert_eq!(
+            gone.decision,
+            Decision::NotApplicable,
+            "node {} served a permit for a removed policy",
+            node.id()
+        );
+    }
+}
+
+#[test]
+fn policy_change_withdraws_granted_graphs_fabric_wide() {
+    let (fabric, names) = testbed_fabric();
+    // One policy per stream under a single policy id per stream; grant all.
+    let mut granted = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
+            .subject("LTA")
+            .filter("rainrate > 5")
+            .build();
+        fabric.load_policy(policy).unwrap();
+        granted.push(fabric.handle_request(&Request::subscribe("LTA", name), None).unwrap());
+    }
+    assert_eq!(fabric.live_deployments(), STREAMS);
+
+    // Removing one policy withdraws exactly the graphs it spawned, wherever
+    // they live; every other handle stays live.
+    let withdrawn = fabric.remove_policy("p0").unwrap();
+    assert_eq!(withdrawn, 1);
+    assert!(!fabric.handle_is_live(&granted[0].response.handle));
+    for response in &granted[1..] {
+        assert!(fabric.handle_is_live(&response.response.handle));
+    }
+    assert_eq!(fabric.live_deployments(), STREAMS - 1);
+}
+
+#[test]
+fn delivery_is_exactly_once_with_latency_ordered_timestamps() {
+    let (fabric, names) = testbed_fabric();
+    let schema = Schema::weather_example().shared();
+    const PER_STREAM: usize = 200;
+
+    // Grant an identity-shaped access on every stream and subscribe.
+    let mut subscriptions = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
+            .subject("LTA")
+            .filter("rainrate > 5")
+            .build();
+        fabric.load_policy(policy).unwrap();
+        let response = fabric.handle_request(&Request::subscribe("LTA", name), None).unwrap();
+        subscriptions.push((i, fabric.subscribe(&response.response.handle).unwrap()));
+    }
+
+    for (i, name) in names.iter().enumerate() {
+        let batch: Vec<Tuple> = (0..PER_STREAM).map(|k| marker_tuple(&schema, i, k)).collect();
+        assert_eq!(fabric.push_batch(name, batch).unwrap(), PER_STREAM);
+    }
+
+    // Before any virtual time passes, nothing has crossed the network.
+    for (_, subscription) in &mut subscriptions {
+        assert!(subscription.poll().is_empty());
+    }
+
+    // Drain in steps so in-flight tuples arrive across several polls.
+    let mut delivered: Vec<Vec<exacml::exacml_plus::DeliveredTuple>> =
+        (0..STREAMS).map(|_| Vec::new()).collect();
+    for _ in 0..50 {
+        fabric.advance(Duration::from_millis(2));
+        for (i, subscription) in &mut subscriptions {
+            delivered[*i].extend(subscription.poll());
+        }
+    }
+
+    for (i, received) in delivered.iter().enumerate() {
+        // Exactly once: every marker of the stream, no duplicates.
+        assert_eq!(received.len(), PER_STREAM, "stream {i} lost or duplicated tuples");
+        let markers: HashSet<i64> =
+            received.iter().map(|d| d.tuple.event_time().expect("marker")).collect();
+        let expected: HashSet<i64> =
+            (0..PER_STREAM).map(|k| (i as i64) * 1_000_000_000 + k as i64).collect();
+        assert_eq!(markers, expected, "stream {i} delivered the wrong tuple set");
+
+        // Simulated-latency-ordered: arrival timestamps are non-decreasing,
+        // every latency covers at least the link's base propagation delay,
+        // and FIFO delivery preserves the send order.
+        for pair in received.windows(2) {
+            assert!(pair[1].arrived_at_nanos >= pair[0].arrived_at_nanos);
+            assert!(pair[1].tuple.event_time() > pair[0].tuple.event_time());
+        }
+        for d in received {
+            assert!(d.arrived_at_nanos > d.sent_at_nanos);
+            assert!(
+                d.latency() >= Duration::from_micros(200),
+                "stream {i}: latency {:?} below the LAN link floor",
+                d.latency()
+            );
+        }
+    }
+
+    // Nothing else ever arrives (exactly-once, fabric-wide).
+    fabric.advance(Duration::from_secs(5));
+    for (_, subscription) in &mut subscriptions {
+        assert!(subscription.poll().is_empty());
+        assert_eq!(subscription.delivered(), PER_STREAM as u64);
+    }
+    let stats = fabric.stats();
+    assert_eq!(stats.nodes, NODES);
+    assert_eq!(stats.tuples_routed, (STREAMS * PER_STREAM) as u64);
+}
+
+#[test]
+fn fabric_release_access_edge_cases_match_single_server_semantics() {
+    let (fabric, names) = testbed_fabric();
+    let name = &names[0];
+    let policy = StreamPolicyBuilder::new("p", name).subject("LTA").filter("rainrate > 5").build();
+    fabric.load_policy(policy).unwrap();
+    let response = fabric.handle_request(&Request::subscribe("LTA", name), None).unwrap();
+
+    // Unknown pair → no-op; real release → true; double release → no-op.
+    assert!(!fabric.release_access("nobody", name));
+    assert!(!fabric.release_access("LTA", "unplaced-stream"));
+    assert!(fabric.release_access("LTA", name));
+    assert!(!fabric.release_access("LTA", name));
+    assert!(!fabric.handle_is_live(&response.response.handle));
+    assert!(matches!(
+        fabric.subscribe(&response.response.handle),
+        Err(ExacmlError::UnknownHandle(_))
+    ));
+}

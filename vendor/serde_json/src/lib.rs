@@ -1,6 +1,7 @@
 //! Minimal vendored stand-in for [`serde_json`]: render the vendored serde
-//! stand-in's `Content` tree as JSON text. Only serialization is provided;
-//! nothing in the workspace deserializes JSON yet.
+//! stand-in's `Content` tree as JSON text, and parse JSON text into a
+//! dynamically-typed [`Value`] (used by the CI perf-regression gate to
+//! compare benchmark reports).
 
 use serde::{Content, Serialize};
 use std::fmt;
@@ -148,6 +149,258 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A dynamically-typed JSON value, mirroring `serde_json::Value`'s accessor
+/// surface (`get`, `as_f64`, `as_array`, …). Objects preserve document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as `f64`, which is what the benchmark reports
+    /// the gate compares contain).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key, like `serde_json::Value::get` with a
+    /// string index (arrays are accessed through [`Value::as_array`]).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+///
+/// # Errors
+/// Fails on malformed JSON or trailing non-whitespace input.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected '{}' at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            entries.push((key, self.parse_value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error(format!("bad \\u escape '{hex}'")))?;
+                            // Surrogate pairs are not needed by the reports
+                            // the gate reads; map them to the replacement
+                            // character rather than rejecting the document.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid UTF-8 in number".into()))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("malformed number '{text}'")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +429,48 @@ mod tests {
         assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
         assert!(to_string(&f64::NAN).is_err());
         assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-2.5e2").unwrap(), Value::Number(-250.0));
+        assert_eq!(from_str("\"a\\nb\"").unwrap(), Value::String("a\nb".into()));
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+        let v = from_str("{\"xs\": [1, 2, {\"y\": \"z\"}], \"ok\": false}").unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let xs = v.get("xs").and_then(Value::as_array).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_f64(), Some(1.0));
+        assert_eq!(xs[2].get("y").and_then(Value::as_str), Some("z"));
+        // String keys do not index arrays, matching real serde_json.
+        assert_eq!(v.get("xs").unwrap().get("1"), None);
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        #[derive(Serialize)]
+        struct Report {
+            name: String,
+            threads: u32,
+            rates: Vec<f64>,
+        }
+        let report = Report { name: "t\"x\"".into(), threads: 4, rates: vec![1.5, 2.0, 1e-9] };
+        for text in [to_string(&report).unwrap(), to_string_pretty(&report).unwrap()] {
+            let v = from_str(&text).unwrap();
+            assert_eq!(v.get("name").and_then(Value::as_str), Some("t\"x\""));
+            assert_eq!(v.get("threads").and_then(Value::as_f64), Some(4.0));
+            let rates = v.get("rates").and_then(Value::as_array).unwrap();
+            assert_eq!(rates[2].as_f64(), Some(1e-9));
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
     }
 }
