@@ -2,7 +2,7 @@
 //! throughput, emitted as `BENCH_pr2_throughput.json` to seed the repo's
 //! perf trajectory.
 //!
-//! Two experiments:
+//! Three experiments:
 //!
 //! * **Ingest** — tuples/second pushed through a filter deployment at 1, 2
 //!   and 4 producer threads (one stream per thread), comparing the old
@@ -12,6 +12,11 @@
 //! * **PDP** — decisions/second for one request against 1000 loaded
 //!   policies: cold linear scan (the old evaluation path), target-indexed
 //!   evaluation, and decision-cache hits.
+//! * **Backend abstraction** — the same batched `DataServer` ingest driven
+//!   once through concrete calls and once through `&dyn Backend` (the
+//!   unified backend API every scenario now uses). The `dyn_vs_direct`
+//!   ratio is gated by `perf_gate`, pinning that the trait layer adds no
+//!   measurable overhead.
 //!
 //! ```text
 //! cargo run --release -p exacml-bench --bin engine_throughput -- \
@@ -23,7 +28,7 @@ use exacml_bench::report::{write_json, CliOptions};
 use exacml_dsms::{
     AggFunc, AggSpec, QueryGraph, QueryGraphBuilder, Schema, StreamEngine, Tuple, Value, WindowSpec,
 };
-use exacml_plus::StreamPolicyBuilder;
+use exacml_plus::{Backend, DataServer, ServerConfig, StreamPolicyBuilder};
 use exacml_xacml::{Pdp, PolicyStore, Request};
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -55,6 +60,19 @@ struct PdpResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct AbstractionResult {
+    threads: usize,
+    tuples: usize,
+    /// Batched ingest through concrete `DataServer` method calls.
+    direct_tuples_per_sec: f64,
+    /// The same ingest through `&dyn Backend` (vtable dispatch).
+    dyn_tuples_per_sec: f64,
+    /// dyn / direct — ~1.0 when the abstraction costs nothing. Gated by
+    /// `perf_gate` against the committed baseline.
+    dyn_vs_direct: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     pr: u32,
     bench: String,
@@ -63,6 +81,8 @@ struct ThroughputReport {
     /// Batched+sharded vs. global-lock single-push at the same thread count.
     ingest_speedup_at_threads: Vec<(usize, f64)>,
     pdp: PdpResult,
+    /// Trait-object overhead on the hot ingest path.
+    backend_abstraction: AbstractionResult,
 }
 
 fn weather_tuples(schema: &Schema, n: usize) -> Vec<Tuple> {
@@ -172,6 +192,63 @@ fn run_sharded_batched(
     }
 }
 
+/// A `DataServer` with one stream + Example-1 deployment per producer
+/// thread, ready for the abstraction-overhead measurement.
+fn server_with_deployments(threads: usize, schema: &Schema) -> Arc<DataServer> {
+    let server = Arc::new(DataServer::new(ServerConfig::local()));
+    for i in 0..threads {
+        server.register_stream(&format!("s{i}"), schema.clone()).unwrap();
+        server.engine().deploy(&example1_graph(&format!("s{i}"))).unwrap();
+    }
+    server
+}
+
+/// Tuples/sec for `threads` producers pushing batches into a `DataServer`,
+/// either through its concrete inherent methods or through `&dyn Backend`.
+/// Setup, batching and tuple stream are identical, so the ratio isolates
+/// what the unified backend API costs on the hot path.
+fn run_server_ingest(
+    threads: usize,
+    tuples: &[Tuple],
+    schema: &Schema,
+    batch_size: usize,
+    through_dyn: bool,
+) -> IngestRow {
+    let server = server_with_deployments(threads, schema);
+    let backend: Arc<dyn Backend> = Arc::clone(&server) as Arc<dyn Backend>;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..threads {
+            let server = Arc::clone(&server);
+            let backend = Arc::clone(&backend);
+            scope.spawn(move || {
+                let stream = format!("s{i}");
+                for chunk in tuples.chunks(batch_size) {
+                    if through_dyn {
+                        backend.push_batch(&stream, chunk.to_vec()).unwrap();
+                    } else {
+                        server.push_batch(&stream, chunk.to_vec()).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let total = tuples.len() * threads;
+    IngestRow {
+        mode: if through_dyn {
+            "server_dyn_backend_push_batch"
+        } else {
+            "server_direct_push_batch"
+        }
+        .into(),
+        threads,
+        tuples: total,
+        seconds,
+        tuples_per_sec: total as f64 / seconds,
+    }
+}
+
 fn run_pdp(policies: usize, decisions: usize) -> PdpResult {
     let store = Arc::new(PolicyStore::new());
     for i in 0..policies {
@@ -272,6 +349,30 @@ fn main() {
         pdp.cached_speedup,
     );
 
+    // Abstraction overhead at the highest thread count: identical batched
+    // `DataServer` ingest, concrete calls vs. `&dyn Backend`.
+    let abstraction_threads = 4usize;
+    let direct =
+        best(&|| run_server_ingest(abstraction_threads, &tuples, &schema, batch_size, false));
+    let dynamic =
+        best(&|| run_server_ingest(abstraction_threads, &tuples, &schema, batch_size, true));
+    let backend_abstraction = AbstractionResult {
+        threads: abstraction_threads,
+        tuples: direct.tuples,
+        direct_tuples_per_sec: direct.tuples_per_sec,
+        dyn_tuples_per_sec: dynamic.tuples_per_sec,
+        dyn_vs_direct: dynamic.tuples_per_sec / direct.tuples_per_sec,
+    };
+    println!(
+        "  backend abstraction ({} threads): direct {:>12.0} t/s | dyn Backend {:>12.0} t/s ({:.3}x)",
+        backend_abstraction.threads,
+        backend_abstraction.direct_tuples_per_sec,
+        backend_abstraction.dyn_tuples_per_sec,
+        backend_abstraction.dyn_vs_direct,
+    );
+    ingest.push(direct);
+    ingest.push(dynamic);
+
     let report = ThroughputReport {
         pr: 2,
         bench: "engine_throughput".into(),
@@ -279,6 +380,7 @@ fn main() {
         ingest,
         ingest_speedup_at_threads: speedups,
         pdp,
+        backend_abstraction,
     };
     let path =
         options.json.unwrap_or_else(|| std::path::PathBuf::from("BENCH_pr2_throughput.json"));

@@ -21,7 +21,7 @@
 
 use exacml_bench::report::{write_json, CliOptions};
 use exacml_dsms::{Schema, Tuple, Value};
-use exacml_plus::{Fabric, FabricConfig, StreamPolicyBuilder};
+use exacml_plus::{Backend, Fabric, FabricConfig, StreamPolicyBuilder};
 use exacml_simnet::Topology;
 use exacml_xacml::Request;
 use serde::Serialize;
@@ -80,16 +80,21 @@ fn run_scenario(
     tuples_per_stream: usize,
 ) -> Scenario {
     let fabric = Fabric::new(FabricConfig::new(nodes, topology.clone()).with_seed(7));
+    // Control and data plane go through the unified backend API — exactly
+    // what scenario code uses — so the measured path includes the trait
+    // layer; fabric-specific observability (placement, the virtual clock)
+    // stays on the concrete handle.
+    let backend: &dyn Backend = &fabric;
     let schema = Schema::weather_example();
     let shared = schema.clone().shared();
     let names: Vec<String> = (0..streams).map(|i| format!("stream{i}")).collect();
     for (i, name) in names.iter().enumerate() {
-        fabric.register_stream(name, schema.clone()).unwrap();
+        backend.register_stream(name, schema.clone()).unwrap();
         let policy = StreamPolicyBuilder::new(format!("p{i}"), name)
             .subject(format!("user{i}"))
             .filter("rainrate > 5")
             .build();
-        fabric.load_policy(policy).unwrap();
+        backend.load_policy(policy).unwrap();
     }
 
     // Brokered request throughput/latency: first grant per stream deploys,
@@ -102,11 +107,11 @@ fn run_scenario(
     for round in 0..requests_per_stream {
         for (i, name) in names.iter().enumerate() {
             let request = Request::subscribe(&format!("user{i}"), name);
-            let response = fabric.handle_request(&request, None).unwrap();
+            let response = backend.handle_request(&request, None).unwrap();
             latency_total += response.total_latency();
             request_count += 1;
             if round == 0 {
-                granted.push(response.response.handle.clone());
+                granted.push(response.handle().clone());
             }
         }
     }
@@ -125,13 +130,12 @@ fn run_scenario(
     let started = Instant::now();
     std::thread::scope(|scope| {
         for owned in &per_node_streams {
-            let fabric = &fabric;
             let shared = &shared;
             scope.spawn(move || {
                 for name in owned {
                     let batch = weather_batch(shared, tuples_per_stream);
                     for chunk in batch.chunks(256) {
-                        fabric.push_batch(name, chunk.iter().cloned()).unwrap();
+                        backend.push_batch(name, chunk.to_vec()).unwrap();
                     }
                 }
             });

@@ -100,6 +100,16 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
             }
         }
     }
+    // The unified-backend overhead ratio (PR 4): `&dyn Backend` ingest vs.
+    // concrete `DataServer` calls on the same workload. Baseline ~1.0; a
+    // collapse means the abstraction layer grew a real cost.
+    if let Some(value) = report
+        .get("backend_abstraction")
+        .and_then(|a| a.get("dyn_vs_direct"))
+        .and_then(Value::as_f64)
+    {
+        metrics.push(("backend_dyn_vs_direct".to_string(), value));
+    }
     metrics
 }
 

@@ -25,8 +25,9 @@
 //!   it, FIFO per link — end-to-end latency therefore includes the network,
 //!   as two thirds of the paper's measured latency did.
 
+use crate::backend::{BackendResponse, TaggedAuditEvent};
 use crate::error::ExacmlError;
-use crate::server::{AccessResponse, DataServer, ServerConfig};
+use crate::server::{DataServer, ServerConfig};
 use crate::user_query::UserQuery;
 use exacml_dsms::{Schema, StreamHandle, Tuple};
 use exacml_simnet::{Clock, LinkSpec, ManualClock, NodeId, SimLink, Topology};
@@ -136,24 +137,10 @@ impl FabricNode {
     }
 }
 
-/// The answer for an access request routed through the fabric.
-#[derive(Debug, Clone)]
-pub struct FabricResponse {
-    /// The node that owns the stream and handled the request.
-    pub node: NodeId,
-    /// The node's response (timing covers the node-local workflow).
-    pub response: AccessResponse,
-    /// The simulated broker → node round trip charged on top.
-    pub broker_network: Duration,
-}
-
-impl FabricResponse {
-    /// End-to-end latency: node-local workflow plus the brokering hop.
-    #[must_use]
-    pub fn total_latency(&self) -> Duration {
-        self.response.timing.total + self.broker_network
-    }
-}
+/// The answer for an access request routed through the fabric — since the
+/// unified backend API (PR 4) this is the [`BackendResponse`] every backend
+/// returns; the alias remains for code written against the PR 3 surface.
+pub type FabricResponse = BackendResponse;
 
 /// A derived tuple delivered through a simulated link.
 #[derive(Debug, Clone)]
@@ -214,6 +201,23 @@ impl FabricSubscription {
                 arrived_at_nanos,
             })
             .collect()
+    }
+
+    /// Drain **everything** derived so far: pull the node-local channel into
+    /// the link, then advance the shared virtual clock in small steps until
+    /// no delivery remains in flight. This is what
+    /// [`crate::backend::Subscription::drain`] uses so scenario code written
+    /// against the unified backend API never has to drive the clock itself.
+    ///
+    /// Advancing the clock moves virtual time for the whole fabric (all
+    /// subscriptions share it), exactly as waiting on a real network would.
+    pub fn drain_settled(&mut self) -> Vec<DeliveredTuple> {
+        let mut delivered = self.poll();
+        while self.in_flight() > 0 {
+            self.clock.advance(Duration::from_millis(1));
+            delivered.extend(self.poll());
+        }
+        delivered
     }
 
     /// Tuples queued on the link, not yet past their arrival time. (Tuples
@@ -579,6 +583,58 @@ impl Fabric {
             self.prune_dead_handles();
         }
         Ok(withdrawn)
+    }
+
+    /// Load a policy from its XACML XML document on **every** node.
+    ///
+    /// # Errors
+    /// Fails when the document does not parse or the policy is invalid.
+    pub fn load_policy_xml(&self, xml: &str) -> Result<Duration, ExacmlError> {
+        let policy = exacml_xacml::xml::parse_policy(xml)?;
+        self.load_policy(policy)
+    }
+
+    /// Number of loaded policies per node (propagation keeps every node's
+    /// store identical, so any node answers for the fabric).
+    #[must_use]
+    pub fn policy_count(&self) -> usize {
+        self.nodes[0].server.policy_count()
+    }
+
+    // --- audit plane (aggregated across nodes) ------------------------------
+
+    /// Aggregate node-local audit events, tag each with its shard's
+    /// [`NodeId`], and interleave by wall-clock timestamp (sequence numbers
+    /// only order events *within* a node).
+    fn tagged_audit_events(
+        &self,
+        fetch: impl Fn(&DataServer) -> Vec<crate::audit::AuditEvent>,
+    ) -> Vec<TaggedAuditEvent> {
+        let mut events: Vec<TaggedAuditEvent> = self
+            .nodes
+            .iter()
+            .flat_map(|node| {
+                fetch(&node.server)
+                    .into_iter()
+                    .map(move |event| TaggedAuditEvent { node: node.id, event })
+            })
+            .collect();
+        events.sort_by_key(|t| (t.event.timestamp_ms, t.node, t.event.sequence));
+        events
+    }
+
+    /// The fabric-wide audit trail: every node-local log, each event tagged
+    /// with the [`NodeId`] of the shard that recorded it, interleaved by
+    /// wall-clock timestamp.
+    #[must_use]
+    pub fn audit_events(&self) -> Vec<TaggedAuditEvent> {
+        self.tagged_audit_events(DataServer::audit_events)
+    }
+
+    /// Fabric-wide audit events involving one subject.
+    #[must_use]
+    pub fn audit_events_for_subject(&self, subject: &str) -> Vec<TaggedAuditEvent> {
+        self.tagged_audit_events(|server| server.audit_events_for_subject(subject))
     }
 
     /// Number of live deployments across all nodes.

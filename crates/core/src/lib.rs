@@ -31,10 +31,18 @@
 //! PDP, policy store and engine) behind a routing broker over simulated
 //! links, with consistent stream placement, fabric-wide policy propagation
 //! and virtual-clock-driven subscriber delivery.
+//!
+//! Every deployment shape speaks **one API**: the object-safe trait stack in
+//! [`backend`] ([`StreamBackend`] / [`AccessControl`] / [`PolicyAdmin`],
+//! composed as [`Backend`]) is implemented by [`DataServer`] and [`Fabric`]
+//! alike, with unified responses ([`BackendResponse`]), subscriptions
+//! ([`Subscription`]) and errors — scenario code written against
+//! `&dyn Backend` runs unchanged on one node or N.
 
 pub mod access_guard;
 pub mod attack;
 pub mod audit;
+pub mod backend;
 pub mod client;
 pub mod error;
 pub mod fabric;
@@ -49,6 +57,10 @@ pub mod warnings;
 
 pub use access_guard::AccessGuard;
 pub use audit::{AuditEvent, AuditEventKind, AuditLog};
+pub use backend::{
+    AccessControl, Backend, BackendResponse, PolicyAdmin, StreamBackend, Subscription,
+    TaggedAuditEvent,
+};
 pub use client::{ClientInterface, RequestResult};
 pub use error::ExacmlError;
 pub use fabric::{
@@ -66,6 +78,10 @@ pub use warnings::{Warning, WarningKind, WarningSource};
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::access_guard::AccessGuard;
+    pub use crate::backend::{
+        AccessControl, Backend, BackendResponse, PolicyAdmin, StreamBackend, Subscription,
+        TaggedAuditEvent,
+    };
     pub use crate::client::{ClientInterface, RequestResult};
     pub use crate::error::ExacmlError;
     pub use crate::fabric::{

@@ -12,7 +12,7 @@
 //!
 //! The engine is internally synchronized and every operation takes `&self`:
 //! callers share one engine behind an `Arc` with no external lock. State is
-//! **sharded by input stream** — each registered stream owns a [`Shard`]
+//! **sharded by input stream** — each registered stream owns a `Shard`
 //! whose deployments are protected by their own mutex — so pushes to
 //! different streams proceed in parallel and only pushes to the *same*
 //! stream serialize (they must: window buffers are order-sensitive).
@@ -22,7 +22,7 @@
 //! acquisition over a whole batch of tuples.
 //!
 //! Per-tuple work is allocation-light: operator chains are compiled at
-//! deploy time ([`crate::compiled`]) so attribute positions are resolved
+//! deploy time (`compiled.rs`) so attribute positions are resolved
 //! once, and [`Tuple`] rows are `Arc`-backed so fan-out to N deployments and
 //! M subscribers costs reference-count bumps, not copies.
 

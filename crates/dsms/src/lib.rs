@@ -12,7 +12,7 @@
 //! StreamBase is proprietary, so this crate is a from-scratch substitute
 //! that implements exactly the model surface the paper depends on:
 //!
-//! * typed schemas, tuples and append-only streams ([`schema`], [`tuple`]),
+//! * typed schemas, tuples and append-only streams ([`schema`], [`mod@tuple`]),
 //! * the three operator boxes with tuple- and time-based sliding windows
 //!   ([`ops`], [`window`]),
 //! * query graphs with schema validation and output-schema inference

@@ -18,7 +18,7 @@
 //!   pipeline described in Section 3.5 (Step 2).
 //! * [`check`] — `checkTwoSimpleExpression` and the conjunct/DNF-level
 //!   aggregation that produces `Ok` / `PR` / `NR` verdicts (Step 3, Figure 5).
-//! * [`simplify`] — conjunct-level interval tightening used when two filter
+//! * [`mod@simplify`] — conjunct-level interval tightening used when two filter
 //!   operators are merged (Section 3.1).
 //! * [`eval`] — evaluation of expressions against attribute bindings; used by
 //!   the DSMS filter operator and by the property tests that prove the DNF

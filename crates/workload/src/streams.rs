@@ -9,6 +9,7 @@
 //! the actual values.
 
 use exacml_dsms::{Schema, Tuple, Value};
+use exacml_plus::{ExacmlError, StreamBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -76,38 +77,22 @@ impl WeatherFeed {
         (0..count).map(|_| self.next_tuple()).collect()
     }
 
-    /// Generate `count` records and push them into the engine as one batch
-    /// (a single shard lookup and lock acquisition). Returns the number of
-    /// derived tuples emitted.
+    /// Generate `count` records and push them into any [`StreamBackend`] —
+    /// a bare `StreamEngine`, a `DataServer`, a `Fabric`, or a
+    /// `&dyn Backend` — as one batch (a single routing decision and shard
+    /// lock acquisition). Returns the number of derived tuples emitted.
     ///
     /// # Errors
-    /// Fails when the stream is unknown or its schema differs from the
-    /// feed's.
-    pub fn pump_into(
-        &mut self,
-        engine: &exacml_dsms::StreamEngine,
-        stream: &str,
-        count: usize,
-    ) -> Result<usize, exacml_dsms::DsmsError> {
-        let batch = self.take(count);
-        engine.push_batch(stream, batch)
-    }
-
-    /// Generate `count` records and push them through the brokering fabric
-    /// as one batch; the broker routes the batch to the stream's owner node.
-    /// Returns the number of derived tuples emitted on that node.
-    ///
-    /// # Errors
-    /// Fails when the stream is unknown on its owner node or its schema
+    /// Fails when the stream is unknown on the backend or its schema
     /// differs from the feed's.
-    pub fn pump_into_fabric(
+    pub fn pump_into<B: StreamBackend + ?Sized>(
         &mut self,
-        fabric: &exacml_plus::Fabric,
+        backend: &B,
         stream: &str,
         count: usize,
-    ) -> Result<usize, exacml_plus::ExacmlError> {
+    ) -> Result<usize, ExacmlError> {
         let batch = self.take(count);
-        fabric.push_batch(stream, batch)
+        backend.push_batch(stream, batch)
     }
 }
 
@@ -166,38 +151,21 @@ impl GpsFeed {
         (0..count).map(|_| self.next_tuple()).collect()
     }
 
-    /// Generate `count` fixes and push them into the engine as one batch
-    /// (a single shard lookup and lock acquisition). Returns the number of
-    /// derived tuples emitted.
+    /// Generate `count` fixes and push them into any [`StreamBackend`] as
+    /// one batch (a single routing decision and shard lock acquisition).
+    /// Returns the number of derived tuples emitted.
     ///
     /// # Errors
-    /// Fails when the stream is unknown or its schema differs from the
-    /// feed's.
-    pub fn pump_into(
-        &mut self,
-        engine: &exacml_dsms::StreamEngine,
-        stream: &str,
-        count: usize,
-    ) -> Result<usize, exacml_dsms::DsmsError> {
-        let batch = self.take(count);
-        engine.push_batch(stream, batch)
-    }
-
-    /// Generate `count` fixes and push them through the brokering fabric as
-    /// one batch; the broker routes the batch to the stream's owner node.
-    /// Returns the number of derived tuples emitted on that node.
-    ///
-    /// # Errors
-    /// Fails when the stream is unknown on its owner node or its schema
+    /// Fails when the stream is unknown on the backend or its schema
     /// differs from the feed's.
-    pub fn pump_into_fabric(
+    pub fn pump_into<B: StreamBackend + ?Sized>(
         &mut self,
-        fabric: &exacml_plus::Fabric,
+        backend: &B,
         stream: &str,
         count: usize,
-    ) -> Result<usize, exacml_plus::ExacmlError> {
+    ) -> Result<usize, ExacmlError> {
         let batch = self.take(count);
-        fabric.push_batch(stream, batch)
+        backend.push_batch(stream, batch)
     }
 }
 
@@ -263,14 +231,25 @@ mod tests {
         }
         fabric.register_stream("gps", gps.schema().clone()).unwrap();
         for i in 0..6 {
-            assert_eq!(weather.pump_into_fabric(&fabric, &format!("weather{i}"), 20).unwrap(), 0);
+            assert_eq!(weather.pump_into(&fabric, &format!("weather{i}"), 20).unwrap(), 0);
         }
-        assert_eq!(gps.pump_into_fabric(&fabric, "gps", 10).unwrap(), 0);
+        assert_eq!(gps.pump_into(&fabric, "gps", 10).unwrap(), 0);
         assert_eq!(fabric.stats().tuples_routed, 6 * 20 + 10);
         let ingested: u64 =
             fabric.nodes().iter().map(|n| n.server().engine_stats().tuples_ingested).sum();
         assert_eq!(ingested, 6 * 20 + 10);
-        assert!(weather.pump_into_fabric(&fabric, "nosuch", 1).is_err());
+        assert!(weather.pump_into(&fabric, "nosuch", 1).is_err());
+    }
+
+    #[test]
+    fn one_feed_pumps_every_backend_shape_through_the_trait() {
+        use exacml_plus::Backend;
+        let mut weather = WeatherFeed::paper_default(1);
+        for backend in [<dyn Backend>::local(), <dyn Backend>::fabric(2)] {
+            backend.register_stream("weather", weather.schema().clone()).unwrap();
+            // The very same call drives a single server and a 2-node fabric.
+            assert_eq!(weather.pump_into(backend.as_ref(), "weather", 30).unwrap(), 0);
+        }
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! ```
 
 use exacml::exacml_dsms::Schema;
-use exacml::exacml_plus::{Fabric, FabricConfig, StreamPolicyBuilder};
-use exacml::exacml_workload::WeatherFeed;
-use exacml::exacml_xacml::Request;
+use exacml::prelude::*;
 use std::time::Duration;
 
 fn main() {
@@ -62,7 +60,7 @@ fn main() {
     // latency has passed.
     let mut feed = WeatherFeed::paper_default(7);
     for station in &stations {
-        feed.pump_into_fabric(&fabric, station, 100).unwrap();
+        feed.pump_into(&fabric, station, 100).unwrap();
     }
     let mut delivered = 0usize;
     let mut first_latency = None;

@@ -8,12 +8,9 @@
 //!
 //! Run with `cargo run --example leak_reconstruction`.
 
-use exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
-use exacml_plus::attack::simulate_attack;
-use exacml_plus::{
-    ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
-};
-use std::sync::Arc;
+use exacml::exacml_dsms::{AggFunc, AggSpec, DataType, Schema, WindowSpec};
+use exacml::exacml_plus::attack::simulate_attack;
+use exacml::prelude::*;
 
 fn main() {
     // --- part 1: the attack against a bare stream engine --------------------
@@ -33,14 +30,11 @@ fn main() {
     assert!(outcome.recovery_rate() > 0.8, "the attack should succeed against the bare engine");
 
     // --- part 2: eXACML+ prevents it ----------------------------------------
-    let server = Arc::new(DataServer::new(ServerConfig::local()));
-    server
+    let backend = BackendBuilder::local().build();
+    backend
         .register_stream(
             "readings",
-            Schema::from_pairs([
-                ("samplingtime", exacml_dsms::DataType::Timestamp),
-                ("a", exacml_dsms::DataType::Double),
-            ]),
+            Schema::from_pairs([("samplingtime", DataType::Timestamp), ("a", DataType::Double)]),
         )
         .unwrap();
     // The owner's policy: only sum windows of size ≥ 3, advance ≥ 2.
@@ -49,24 +43,24 @@ fn main() {
         .visible_attributes(["samplingtime", "a"])
         .window(WindowSpec::tuples(3, 2), vec![AggSpec::new("a", AggFunc::Sum)])
         .build();
-    server.load_policy(policy).unwrap();
+    backend.load_policy(policy).unwrap();
 
-    let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
+    let analyst = Session::new(backend, "analyst");
     let window = |size: u64| {
         UserQuery::for_stream("readings")
             .with_aggregation(WindowSpec::tuples(size, 2), vec![AggSpec::new("a", AggFunc::Sum)])
     };
 
     // The first window (size 3) is granted...
-    let first = client
-        .request_access("analyst", "readings", Some(&window(3)))
+    let first = analyst
+        .request_access("readings", Some(&window(3)))
         .expect("the first window is within the policy");
-    println!("first window granted: {}", first.handle);
+    println!("first window granted: {}", first.handle());
 
     // ...but the second and third windows — the ones the attack needs — are
     // rejected because the analyst already holds a live query on the stream.
     for size in [4u64, 5] {
-        match client.request_access("analyst", "readings", Some(&window(size))) {
+        match analyst.request_access("readings", Some(&window(size))) {
             Err(e) => println!("window of size {size} refused: {e}"),
             Ok(_) => panic!("the single-access guard should have refused window size {size}"),
         }

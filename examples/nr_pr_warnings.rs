@@ -7,10 +7,9 @@
 //!
 //! Run with `cargo run --example nr_pr_warnings`.
 
-use exacml_dsms::Schema;
-use exacml_expr::{analyze_merge, parse_expr};
-use exacml_plus::{DataServer, ExacmlError, ServerConfig, StreamPolicyBuilder, UserQuery};
-use exacml_xacml::Request;
+use exacml::exacml_dsms::Schema;
+use exacml::exacml_expr::{analyze_merge, parse_expr};
+use exacml::prelude::*;
 
 fn main() {
     // --- Example 3, predicate-level ------------------------------------------
@@ -33,9 +32,9 @@ fn main() {
     );
 
     // --- the same conflicts surfaced through the framework -------------------
-    let server = DataServer::new(ServerConfig::local());
-    server.register_stream("weather", Schema::weather_example()).unwrap();
-    server
+    let backend = BackendBuilder::local().build();
+    backend.register_stream("weather", Schema::weather_example()).unwrap();
+    backend
         .load_policy(
             StreamPolicyBuilder::new("weather-lta", "weather")
                 .subject("LTA")
@@ -47,10 +46,11 @@ fn main() {
 
     // A query that contradicts the policy filter → the request is answered
     // with an NR warning and nothing is deployed.
+    let lta = Session::new(backend.clone(), "LTA");
     let contradicting = UserQuery::for_stream("weather")
         .with_filter("rainrate < 4")
         .with_map(["samplingtime", "rainrate"]);
-    match server.handle_request(&Request::subscribe("LTA", "weather"), Some(&contradicting)) {
+    match lta.request_access("weather", Some(&contradicting)) {
         Err(ExacmlError::ConflictDetected { warnings }) => {
             println!("\ncontradictory query rejected with {} warning(s):", warnings.len());
             for w in warnings {
@@ -66,7 +66,7 @@ fn main() {
     let narrowing = UserQuery::for_stream("weather")
         .with_filter("rainrate > 5")
         .with_map(["samplingtime", "rainrate"]);
-    match server.handle_request(&Request::subscribe("LTA", "weather"), Some(&narrowing)) {
+    match lta.request_access("weather", Some(&narrowing)) {
         Err(ExacmlError::ConflictDetected { warnings }) => {
             println!("\nnarrowing query flagged with {} warning(s):", warnings.len());
             for w in warnings {
@@ -77,6 +77,6 @@ fn main() {
     }
     println!(
         "\nno query graph was deployed for either conflicting request: {} live deployments",
-        server.live_deployments()
+        backend.live_deployments()
     );
 }

@@ -1,4 +1,5 @@
-//! Quickstart: the paper's running example (Example 1 + Section 3.1).
+//! Quickstart: the paper's running example (Example 1 + Section 3.1),
+//! driven through the unified entry layer — `BackendBuilder` + `Session`.
 //!
 //! The National Environmental Agency (NEA) publishes a real-time weather
 //! stream on the cloud. The Land Transport Authority (LTA) is building a
@@ -7,26 +8,23 @@
 //! `rainrate > 5`. The LTA later refines its needs with a customised query
 //! (`rainrate > 50`, windows of 10).
 //!
+//! Swap `BackendBuilder::local()` for `BackendBuilder::fabric(3)` and the
+//! whole example runs on a 3-node brokering fabric instead (see
+//! `examples/backend_swap.rs` for that demonstration).
+//!
 //! Run with `cargo run --example quickstart`.
 
-use exacml_dsms::{streamsql, AggFunc, AggSpec, Schema, WindowSpec};
-use exacml_plus::{
-    ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
-};
-use exacml_workload::WeatherFeed;
-use std::sync::Arc;
+use exacml::exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
+use exacml::prelude::*;
 
 fn main() {
     // ----------------------------------------------------------------- setup
-    // The cloud data server hosts the PDP/PEP and the Aurora-model DSMS.
-    let server = Arc::new(DataServer::new(ServerConfig {
-        // The LTA's refinement narrows the visible attributes, which raises a
-        // partial-result warning by design; allow deployment anyway so the
-        // warning is informational (Section 3.5).
-        deploy_on_partial_result: true,
-        ..ServerConfig::local()
-    }));
-    server
+    // The backend hosts the PDP/PEP and the Aurora-model DSMS. The LTA's
+    // refinement narrows the visible attributes, which raises a
+    // partial-result warning by design; allow deployment anyway so the
+    // warning is informational (Section 3.5).
+    let backend = BackendBuilder::local().deploy_on_partial_result(true).build();
+    backend
         .register_stream("weather", Schema::weather_example())
         .expect("register the NEA weather stream");
 
@@ -47,14 +45,14 @@ fn main() {
         .build();
 
     println!("=== Figure 2: the policy's obligations block (XACML XML) ===");
-    println!("{}", exacml_xacml::xml::write_policy(&policy));
+    println!("{}", exacml::exacml_xacml::xml::write_policy(&policy));
 
     println!("=== Figure 1: the query graph derived from the obligations ===");
-    let policy_graph = exacml_plus::graph_from_obligations("weather", &policy.obligations)
+    let policy_graph = exacml::exacml_plus::graph_from_obligations("weather", &policy.obligations)
         .expect("valid obligations");
     println!("{policy_graph}\n");
 
-    server.load_policy(policy).expect("load the policy onto the data server");
+    backend.load_policy(policy).expect("load the policy onto the backend");
 
     // ------------------------------------------------ the LTA refines its query
     let user_query = UserQuery::for_stream("weather")
@@ -71,44 +69,42 @@ fn main() {
     println!("{}", user_query.to_xml());
 
     // --------------------------------------------------------- request access
-    let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
-    let response = client
-        .request_access("LTA", "weather", Some(&user_query))
-        .expect("the policy permits the LTA");
+    // The session carries the LTA's identity and releases its grants when
+    // dropped.
+    let session = Session::new(backend.clone(), "LTA");
+    let granted =
+        session.request_access("weather", Some(&user_query)).expect("the policy permits the LTA");
 
     println!("=== Figure 4(b): the merged StreamSQL sent to the DSMS ===");
-    println!("{}", response.streamsql);
-    println!("stream handle returned to the LTA: {}", response.handle);
-    for warning in &response.warnings {
+    println!("{}", granted.response.streamsql);
+    println!("stream handle returned to the LTA: {}", granted.handle());
+    for warning in &granted.response.warnings {
         println!("warning: {warning}");
     }
     println!(
         "timing: total {:?} (PDP {:?}, query-graph {:?}, DSMS {:?}, network {:?})\n",
-        response.timing.total,
-        response.timing.pdp,
-        response.timing.query_graph,
-        response.timing.dsms,
-        response.timing.network
+        granted.response.timing.total,
+        granted.response.timing.pdp,
+        granted.response.timing.query_graph,
+        granted.response.timing.dsms,
+        granted.response.timing.network
     );
 
     // ------------------------------------------------------------ stream data
-    let receiver = server.subscribe(&response.handle).expect("subscribe to the derived stream");
+    let mut subscription = session.subscribe("weather").expect("subscribe to the derived stream");
     let mut feed = WeatherFeed::paper_default(7);
-    for tuple in feed.take(600) {
-        server.push("weather", tuple).expect("push weather record");
-    }
-    let derived: Vec<_> = receiver.try_iter().collect();
+    feed.pump_into(backend.as_ref(), "weather", 600).expect("push weather records");
+    let derived = subscription.drain();
     println!("=== derived tuples the LTA receives (first 5 of {}) ===", derived.len());
     for tuple in derived.iter().take(5) {
         println!("  {tuple}");
     }
 
     // A request by anyone else is denied.
-    let denied = client.request_access("EMA", "weather", None);
+    let denied = Session::new(backend.clone(), "EMA").request_access("weather", None);
     println!("\nEMA requesting the same stream: {}", denied.expect_err("denied"));
 
-    // And the direct-query baseline (no access control) for comparison.
-    let script = streamsql::generate(&policy_graph, &Schema::weather_example());
-    let (_, timing) = client.direct_query(&script).expect("direct query");
-    println!("direct-query baseline deploy time: {:?}", timing.total);
+    // RAII: dropping the session withdraws the LTA's live query.
+    drop(session);
+    println!("live deployments after the session ended: {}", backend.live_deployments());
 }

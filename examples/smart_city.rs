@@ -3,23 +3,20 @@
 //! introduction), and a data owner revokes a policy, which immediately
 //! withdraws the consumer's live query (Section 3.3).
 //!
+//! Each agency drives the system through its own `Session`; the whole
+//! example speaks the unified backend API, so swapping the builder line for
+//! `BackendBuilder::fabric(n)` runs the same city on a cluster.
+//!
 //! Run with `cargo run --example smart_city`.
 
-use exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
-use exacml_plus::{
-    ClientInterface, DataServer, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
-};
-use exacml_workload::{GpsFeed, WeatherFeed};
-use std::sync::Arc;
+use exacml::exacml_dsms::{AggFunc, AggSpec, Schema, WindowSpec};
+use exacml::prelude::*;
 
 fn main() {
-    let server = Arc::new(DataServer::new(ServerConfig {
-        deploy_on_partial_result: true,
-        ..ServerConfig::local()
-    }));
+    let backend = BackendBuilder::local().deploy_on_partial_result(true).build();
     // Two city-scale streams: NEA weather stations and anonymised transit GPS.
-    server.register_stream("weather", Schema::weather_example()).expect("weather stream");
-    server.register_stream("gps", Schema::gps_example()).expect("gps stream");
+    backend.register_stream("weather", Schema::weather_example()).expect("weather stream");
+    backend.register_stream("gps", Schema::gps_example()).expect("gps stream");
 
     // --- policies of three data consumers ----------------------------------
     // 1. The health agency tracks outbreak-relevant conditions: hourly-ish
@@ -69,15 +66,17 @@ fn main() {
         .build();
 
     for policy in [health, transport, research] {
-        let elapsed = server.load_policy(policy).expect("policy loads");
+        let elapsed = backend.load_policy(policy).expect("policy loads");
         println!("loaded policy in {elapsed:?}");
     }
 
-    let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
+    // --- each agency opens a session and requests its view -------------------
+    let health_agency = Session::new(backend.clone(), "HealthAgency");
+    let transport_authority = Session::new(backend.clone(), "TransportAuthority");
+    let urban_lab = Session::new(backend.clone(), "UrbanLab");
 
-    // --- each agency requests its view --------------------------------------
     let health_view =
-        client.request_access("HealthAgency", "weather", None).expect("health agency is permitted");
+        health_agency.request_access("weather", None).expect("health agency is permitted");
     let transport_query = UserQuery::for_stream("weather")
         .with_filter("rainrate > 30")
         .with_map(["samplingtime", "rainrate"])
@@ -88,52 +87,47 @@ fn main() {
                 AggSpec::new("rainrate", AggFunc::Avg),
             ],
         );
-    let transport_view = client
-        .request_access("TransportAuthority", "weather", Some(&transport_query))
+    let transport_view = transport_authority
+        .request_access("weather", Some(&transport_query))
         .expect("transport authority is permitted");
-    let research_view =
-        client.request_access("UrbanLab", "gps", None).expect("research lab is permitted");
+    let research_view = urban_lab.request_access("gps", None).expect("research lab is permitted");
 
-    println!("\nhealth view handle:    {}", health_view.handle);
+    println!("\nhealth view handle:    {}", health_view.handle());
     println!(
         "transport view handle: {} ({} warnings)",
-        transport_view.handle,
-        transport_view.warnings.len()
+        transport_view.handle(),
+        transport_view.response.warnings.len()
     );
-    println!("research view handle:  {}", research_view.handle);
+    println!("research view handle:  {}", research_view.handle());
 
     // Cross-checks: agencies cannot read each other's streams.
-    assert!(client.request_access("HealthAgency", "gps", None).is_err());
-    assert!(client.request_access("UrbanLab", "weather", None).is_err());
+    assert!(health_agency.request_access("gps", None).is_err());
+    assert!(urban_lab.request_access("weather", None).is_err());
     println!("cross-agency requests correctly denied");
 
     // --- feed both streams ---------------------------------------------------
-    let health_rx = server.subscribe(&health_view.handle).unwrap();
-    let transport_rx = server.subscribe(&transport_view.handle).unwrap();
-    let research_rx = server.subscribe(&research_view.handle).unwrap();
+    let mut health_sub = health_agency.subscribe("weather").unwrap();
+    let mut transport_sub = transport_authority.subscribe("weather").unwrap();
+    let mut research_sub = urban_lab.subscribe("gps").unwrap();
 
     let mut weather = WeatherFeed::paper_default(11);
-    for tuple in weather.take(600) {
-        server.push("weather", tuple).unwrap();
-    }
+    weather.pump_into(backend.as_ref(), "weather", 600).unwrap();
     let mut gps = GpsFeed::new(13, "bus-1042", 1_000);
-    for tuple in gps.take(200) {
-        server.push("gps", tuple).unwrap();
-    }
+    gps.pump_into(backend.as_ref(), "gps", 200).unwrap();
 
-    println!("\nhealth agency received    {} aggregate tuples", health_rx.try_iter().count());
-    println!("transport agency received {} aggregate tuples", transport_rx.try_iter().count());
-    println!("research lab received     {} aggregate tuples", research_rx.try_iter().count());
+    println!("\nhealth agency received    {} aggregate tuples", health_sub.drain().len());
+    println!("transport agency received {} aggregate tuples", transport_sub.drain().len());
+    println!("research lab received     {} aggregate tuples", research_sub.drain().len());
 
     // --- the owner revokes the transport policy ------------------------------
-    let withdrawn = server.remove_policy("weather-for-transport").expect("policy exists");
+    let withdrawn = backend.remove_policy("weather-for-transport").expect("policy exists");
     println!("\nNEA removed the transport policy: {withdrawn} live query graph(s) withdrawn");
-    assert!(!server.handle_is_live(&transport_view.handle));
-    assert!(client.request_access("TransportAuthority", "weather", None).is_err());
+    assert!(!backend.handle_is_live(transport_view.handle()));
+    assert!(transport_authority.request_access("weather", None).is_err());
     println!("transport authority's handle is dead and new requests are denied");
 
     // The other agencies are unaffected.
-    assert!(server.handle_is_live(&health_view.handle));
-    assert!(server.handle_is_live(&research_view.handle));
+    assert!(backend.handle_is_live(health_view.handle()));
+    assert!(backend.handle_is_live(research_view.handle()));
     println!("other agencies keep their live views");
 }

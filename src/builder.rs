@@ -1,0 +1,185 @@
+//! The one-line backend switch: [`BackendBuilder`].
+//!
+//! Every deployment shape of the reproduction — a single in-process
+//! [`DataServer`], an N-node brokering [`Fabric`] — is built through the
+//! same builder and handed back as an `Arc<dyn Backend>`, so swapping a
+//! scenario from one node to N is literally one changed line:
+//!
+//! ```
+//! use exacml::prelude::*;
+//!
+//! let local = BackendBuilder::local().build();
+//! let cluster = BackendBuilder::fabric(3).build(); // ← the only change
+//! assert_eq!(local.backend_kind(), "data-server");
+//! assert_eq!(cluster.backend_kind(), "fabric-3");
+//! ```
+//!
+//! For the unconfigured cases, `exacml_plus` also ships
+//! `<dyn Backend>::local()` / `<dyn Backend>::fabric(n)` shorthands.
+
+use exacml_plus::{Backend, DataServer, Fabric, FabricConfig, ServerConfig};
+use exacml_simnet::Topology;
+use std::sync::Arc;
+
+use crate::session::Session;
+
+/// Which deployment shape to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// One in-process data server.
+    Single,
+    /// N data-server nodes behind the routing broker.
+    Fabric(usize),
+}
+
+/// Builds any eXACML+ backend behind one API.
+///
+/// Constructors pick the deployment shape and a sensible topology; the
+/// `with_*` methods refine seeds, link topology and merge behaviour; and
+/// [`BackendBuilder::build`] returns the backend as an `Arc<dyn Backend>`
+/// ready for scenario code, [`Session`]s, feeds and benches.
+#[derive(Debug, Clone)]
+pub struct BackendBuilder {
+    shape: Shape,
+    topology: Topology,
+    seed: u64,
+    deploy_on_partial_result: bool,
+}
+
+impl BackendBuilder {
+    fn new(shape: Shape, topology: Topology) -> Self {
+        BackendBuilder { shape, topology, seed: 42, deploy_on_partial_result: false }
+    }
+
+    /// A single in-process data server on loopback links (unit tests,
+    /// quickstarts).
+    #[must_use]
+    pub fn local() -> Self {
+        BackendBuilder::new(Shape::Single, Topology::local())
+    }
+
+    /// A single data server on the paper's coordinator/broker/server
+    /// testbed links.
+    #[must_use]
+    pub fn server() -> Self {
+        BackendBuilder::new(Shape::Single, Topology::paper_testbed())
+    }
+
+    /// An N-node brokering fabric on loopback links.
+    #[must_use]
+    pub fn fabric(nodes: usize) -> Self {
+        BackendBuilder::new(Shape::Fabric(nodes.max(1)), Topology::local())
+    }
+
+    /// An N-node fabric on the paper's testbed links.
+    #[must_use]
+    pub fn paper_testbed(nodes: usize) -> Self {
+        BackendBuilder::new(Shape::Fabric(nodes.max(1)), Topology::paper_testbed())
+    }
+
+    /// An N-node fabric whose client-facing hop crosses a WAN (the paper's
+    /// "migrate to a commercial cloud" what-if).
+    #[must_use]
+    pub fn public_cloud(nodes: usize) -> Self {
+        BackendBuilder::new(Shape::Fabric(nodes.max(1)), Topology::public_cloud())
+    }
+
+    /// Override the deployment topology the simulated links are drawn from.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Override the base seed (node and link seeds derive from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Deploy even when merging raised partial-result warnings (the
+    /// warnings are still returned to the caller — Section 3.5).
+    #[must_use]
+    pub fn deploy_on_partial_result(mut self, deploy: bool) -> Self {
+        self.deploy_on_partial_result = deploy;
+        self
+    }
+
+    fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            deploy_on_partial_result: self.deploy_on_partial_result,
+            topology: self.topology.clone(),
+            seed: self.seed,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Build the backend.
+    #[must_use]
+    pub fn build(self) -> Arc<dyn Backend> {
+        match self.shape {
+            Shape::Single => Arc::new(DataServer::new(self.server_config())),
+            Shape::Fabric(nodes) => {
+                let config = FabricConfig::new(nodes, self.topology.clone())
+                    .with_seed(self.seed)
+                    .with_server_template(self.server_config());
+                Arc::new(Fabric::new(config))
+            }
+        }
+    }
+
+    /// Build the backend and open a [`Session`] for `subject` on it in one
+    /// step.
+    #[must_use]
+    pub fn session(self, subject: impl Into<String>) -> Session {
+        Session::new(self.build(), subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacml_dsms::Schema;
+    use exacml_plus::StreamPolicyBuilder;
+    use exacml_xacml::Request;
+
+    #[test]
+    fn builder_shapes_and_kinds() {
+        assert_eq!(BackendBuilder::local().build().backend_kind(), "data-server");
+        assert_eq!(BackendBuilder::server().build().backend_kind(), "data-server");
+        assert_eq!(BackendBuilder::fabric(4).build().backend_kind(), "fabric-4");
+        assert_eq!(BackendBuilder::paper_testbed(2).build().backend_kind(), "fabric-2");
+        assert_eq!(BackendBuilder::public_cloud(2).build().backend_kind(), "fabric-2");
+        // A zero-node fabric is clamped to one node rather than panicking.
+        assert_eq!(BackendBuilder::fabric(0).build().backend_kind(), "fabric-1");
+    }
+
+    #[test]
+    fn partial_result_deployments_are_builder_controlled() {
+        for backend in [BackendBuilder::local(), BackendBuilder::fabric(2)]
+            .map(|b| b.deploy_on_partial_result(true).with_seed(7).build())
+        {
+            backend.register_stream("weather", Schema::weather_example()).unwrap();
+            backend
+                .load_policy(
+                    StreamPolicyBuilder::new("p", "weather")
+                        .subject("LTA")
+                        .filter("rainrate > 5")
+                        .visible_attributes(["samplingtime", "rainrate", "windspeed"])
+                        .build(),
+                )
+                .unwrap();
+            // Narrowing the visible attributes raises a PR warning; the
+            // builder told both backends to deploy anyway.
+            let query = exacml_plus::UserQuery::for_stream("weather")
+                .with_filter("rainrate > 50")
+                .with_map(["samplingtime", "rainrate"]);
+            let granted = backend
+                .handle_request(&Request::subscribe("LTA", "weather"), Some(&query))
+                .unwrap();
+            assert!(!granted.response.warnings.is_empty());
+            assert!(backend.handle_is_live(granted.handle()));
+        }
+    }
+}

@@ -1,12 +1,93 @@
-//! eXACML+ umbrella crate.
+//! eXACML+ umbrella crate: one API over every deployment shape.
 //!
-//! Re-exports every subsystem of the workspace under one roof so downstream
-//! users (and the integration tests under `tests/`) can depend on a single
-//! crate. The member crates keep their own identities:
+//! This crate is the front door of the reproduction of *"Cloud and the
+//! City: Facilitating Flexible Access Control over Data Streams"* (Wang,
+//! Dinh, Lim, Datta — SDMW 2012). It re-exports every subsystem of the
+//! workspace **and** carries the ergonomic entry layer most code should
+//! start from:
+//!
+//! ```
+//! use exacml::prelude::*;
+//! use exacml::exacml_dsms::Schema;
+//!
+//! // One line decides the deployment shape: a single in-process server …
+//! let backend = BackendBuilder::local().build();
+//! // … or an N-node brokering fabric: `BackendBuilder::fabric(3).build()`.
+//!
+//! backend.register_stream("weather", Schema::weather_example())?;
+//! backend.load_policy(
+//!     StreamPolicyBuilder::new("nea-weather-for-lta", "weather")
+//!         .subject("LTA")
+//!         .filter("rainrate > 5")
+//!         .build(),
+//! )?;
+//!
+//! let session = Session::new(backend.clone(), "LTA");
+//! let granted = session.request_access("weather", None)?;
+//! let mut subscription = session.subscribe("weather")?;
+//! assert!(backend.handle_is_live(granted.handle()));
+//! drop(session); // RAII: every grant the session held is released
+//! assert_eq!(backend.live_deployments(), 0);
+//! # Ok::<(), exacml::prelude::ExacmlError>(())
+//! ```
+//!
+//! # The backend trait layer
+//!
+//! Every backend — [`DataServer`](exacml_plus::DataServer) for one node,
+//! [`Fabric`](exacml_plus::Fabric) for N nodes behind the routing broker —
+//! implements the object-safe trait stack of
+//! [`exacml_plus::backend`]:
+//!
+//! * [`StreamBackend`](exacml_plus::StreamBackend) — register streams, push
+//!   tuples (single or batched), subscribe to granted handles via the
+//!   backend-agnostic [`Subscription`](exacml_plus::Subscription);
+//! * [`AccessControl`](exacml_plus::AccessControl) — the Section 3.2
+//!   request workflow returning a unified
+//!   [`BackendResponse`](exacml_plus::BackendResponse), plus release;
+//! * [`PolicyAdmin`](exacml_plus::PolicyAdmin) — Section 3.3 policy
+//!   load/remove/update/count (fabric-wide propagation included);
+//! * [`Backend`](exacml_plus::Backend) — the composition, adding the
+//!   node-tagged audit trail and deployment observability.
+//!
+//! Scenario code, tests, feeds and benches written against `&dyn Backend`
+//! (or a generic `B: Backend + ?Sized`) run unchanged on one node or N —
+//! `tests/backend_conformance.rs` executes one suite against both shapes,
+//! and `examples/backend_swap.rs` is the same scenario twice with only the
+//! builder line changed.
+//!
+//! [`BackendBuilder`] constructs either shape (`local()`, `server()`,
+//! `fabric(n)`, `paper_testbed(n)`, `public_cloud(n)`); [`Session`] owns a
+//! subject's identity and live grants and releases them RAII-style on drop.
+//!
+//! # Migrating from the `ClientInterface` entry point
+//!
+//! Before the unified API the entry point was the paper-faithful chain
+//! `ClientInterface → Proxy → DataServer` (and, separately, `Fabric` with
+//! its own near-duplicate method surface). That chain still exists — it
+//! models the Figure 3 deployment entities and their network hops, and the
+//! evaluation figures are measured through it — but it is no longer the
+//! recommended way to *use* the system:
+//!
+//! * `ClientInterface::request_access(subject, stream, query)` →
+//!   [`Session::request_access`] (the session carries the subject);
+//! * `ClientInterface::release(subject, stream)` → [`Session::release`]
+//!   (or just drop the session);
+//! * `server.subscribe(&handle)` / `fabric.subscribe(&handle)` →
+//!   [`Session::subscribe`] or `backend.subscribe(&handle)` through the
+//!   trait, both returning the unified
+//!   [`Subscription`](exacml_plus::Subscription);
+//! * `feed.pump_into(&engine, …)` / `feed.pump_into_fabric(&fabric, …)` →
+//!   one generic `feed.pump_into(&backend, …)` accepting any
+//!   [`StreamBackend`](exacml_plus::StreamBackend).
+//!
+//! # Workspace map
+//!
+//! The member crates keep their own identities:
 //!
 //! * [`exacml_plus`] — the framework core: obligation ⇄ query-graph
-//!   translation, NR/PR merge analysis, graph management, proxy, data server,
-//!   and the Section 3.4 attack model (package `exacml-plus`, `crates/core`).
+//!   translation, NR/PR merge analysis, graph management, proxy, data
+//!   server, the brokering fabric, and the unified backend trait layer
+//!   (package `exacml-plus`, `crates/core`).
 //! * [`exacml_dsms`] — the from-scratch stream engine: Aurora-style query
 //!   graphs, operators, sliding windows, StreamSQL (package `exacml-dsms`).
 //! * [`exacml_xacml`] — the XACML policy model, repository, XML round-trip,
@@ -20,8 +101,8 @@
 //! * [`exacml_bench`] — experiment harnesses for the paper's figures and
 //!   tables (package `exacml-bench`).
 //!
-//! Package names are hyphenated; the re-exports below use the underscore
-//! form rustc gives each library target.
+//! Package names are hyphenated; the re-exports use the underscore form
+//! rustc gives each library target.
 
 pub use exacml_bench;
 pub use exacml_dsms;
@@ -30,3 +111,27 @@ pub use exacml_plus;
 pub use exacml_simnet;
 pub use exacml_workload;
 pub use exacml_xacml;
+
+pub mod builder;
+pub mod session;
+
+pub use builder::BackendBuilder;
+pub use session::Session;
+
+/// Everything a scenario needs, importable in one line.
+///
+/// Brings in the entry layer ([`BackendBuilder`], [`Session`]), the backend
+/// trait stack and its unified types, the policy/query authoring helpers,
+/// the error type, and the workload feeds.
+pub mod prelude {
+    pub use crate::builder::BackendBuilder;
+    pub use crate::session::Session;
+    pub use exacml_plus::{
+        AccessControl, AccessResponse, Backend, BackendResponse, DataServer, ExacmlError, Fabric,
+        FabricConfig, PolicyAdmin, ServerConfig, StreamBackend, StreamPolicyBuilder, Subscription,
+        TaggedAuditEvent, UserQuery, Warning, WarningKind,
+    };
+    pub use exacml_simnet::{NodeId, Topology};
+    pub use exacml_workload::{GpsFeed, WeatherFeed};
+    pub use exacml_xacml::{Policy, Request};
+}

@@ -1,0 +1,257 @@
+//! Backend conformance suite.
+//!
+//! Every test body here is written **once** against `&dyn Backend` and
+//! executed for both deployment shapes — a single in-process `DataServer`
+//! and a 3-node brokering `Fabric` — pinning the promise of the unified
+//! backend API: scenario code cannot tell one node from N. Covered:
+//! register/push/subscribe, policy churn (load / update / remove with
+//! graph withdrawal), release edge cases (unknown and double releases are
+//! no-ops), unified unknown-handle errors, reuse semantics, the
+//! single-access guard, and the node-tagged audit trail.
+
+use exacml::exacml_dsms::{Schema, Tuple, Value};
+use exacml::prelude::*;
+use std::sync::Arc;
+
+/// The two backend shapes every test runs against.
+fn backends() -> Vec<Arc<dyn Backend>> {
+    vec![BackendBuilder::local().build(), BackendBuilder::fabric(3).build()]
+}
+
+fn weather_tuple(schema: &Arc<Schema>, i: i64, rain: f64) -> Tuple {
+    Tuple::builder_shared(schema)
+        .set("samplingtime", Value::Timestamp(i * 30_000))
+        .set("rainrate", rain)
+        .finish_with_defaults()
+}
+
+fn rain_policy(id: &str, stream: &str, subject: &str) -> Policy {
+    StreamPolicyBuilder::new(id, stream).subject(subject).filter("rainrate > 5").build()
+}
+
+#[test]
+fn register_push_subscribe_lifecycle() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        // Several streams so a fabric spreads them over more than one node.
+        let schema = Schema::weather_example().shared();
+        for i in 0..6 {
+            let name = format!("stream{i}");
+            backend.register_stream(&name, Schema::weather_example()).unwrap();
+            backend.load_policy(rain_policy(&format!("p{i}"), &name, "LTA")).unwrap();
+        }
+        // Duplicate registration fails identically on both shapes.
+        assert!(backend.register_stream("stream0", Schema::weather_example()).is_err(), "{kind}");
+        // Unknown streams reject ingest.
+        assert!(backend.push("nosuch", weather_tuple(&schema, 0, 9.0)).is_err(), "{kind}");
+
+        for i in 0..6 {
+            let name = format!("stream{i}");
+            let granted = backend
+                .handle_request(&Request::subscribe("LTA", &name), None)
+                .unwrap_or_else(|e| panic!("{kind}: grant on {name}: {e}"));
+            assert!(backend.handle_is_live(granted.handle()), "{kind}");
+            let mut subscription = backend.subscribe(granted.handle()).unwrap();
+
+            // Batch + single push; only heavy rain passes the policy filter.
+            let batch: Vec<Tuple> = (0..20).map(|k| weather_tuple(&schema, k, 10.0)).collect();
+            assert_eq!(backend.push_batch(&name, batch).unwrap(), 20, "{kind}");
+            assert_eq!(backend.push(&name, weather_tuple(&schema, 20, 1.0)).unwrap(), 0, "{kind}");
+            let derived = subscription.drain();
+            assert_eq!(derived.len(), 20, "{kind}: {name} lost or duplicated tuples");
+            // Delivery preserves send order on both shapes.
+            for pair in derived.windows(2) {
+                assert!(pair[1].event_time().unwrap() > pair[0].event_time().unwrap(), "{kind}");
+            }
+        }
+        assert_eq!(backend.live_deployments(), 6, "{kind}");
+    }
+}
+
+#[test]
+fn policy_churn_withdraws_graphs_and_serves_fresh_obligations() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
+        assert_eq!(backend.policy_count(), 1, "{kind}");
+
+        // Update withdraws the graphs the old version spawned, and a fresh
+        // grant carries the new obligation set.
+        let granted = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let updated =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 50").build();
+        assert_eq!(backend.update_policy(updated).unwrap(), 1, "{kind}");
+        assert!(!backend.handle_is_live(granted.handle()), "{kind}");
+        let fresh = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(fresh.response.streamsql.contains("rainrate > 50"), "{kind}");
+
+        // Removal withdraws and then denies.
+        assert_eq!(backend.remove_policy("p").unwrap(), 1, "{kind}");
+        assert_eq!(backend.policy_count(), 0, "{kind}");
+        assert_eq!(backend.live_deployments(), 0, "{kind}");
+        assert!(matches!(
+            backend.handle_request(&Request::subscribe("LTA", "weather"), None),
+            Err(ExacmlError::AccessDenied { .. })
+        ));
+        // Removing an unknown policy fails on both shapes.
+        assert!(backend.remove_policy("p").is_err(), "{kind}");
+    }
+}
+
+#[test]
+fn release_edge_cases_are_noops_on_every_shape() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
+        let granted = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+
+        // Unknown subject, unknown stream, unknown both: no-ops.
+        assert!(!backend.release_access("EMA", "weather"), "{kind}");
+        assert!(!backend.release_access("LTA", "nosuch"), "{kind}");
+        assert!(!backend.release_access("nobody", "nothing"), "{kind}");
+        assert!(backend.handle_is_live(granted.handle()), "{kind}");
+
+        // Real release withdraws; the double release (and the
+        // case-insensitive variant) are no-ops.
+        assert!(backend.release_access("LTA", "weather"), "{kind}");
+        assert!(!backend.release_access("LTA", "weather"), "{kind}");
+        assert!(!backend.release_access("lta", "WEATHER"), "{kind}");
+        assert!(!backend.handle_is_live(granted.handle()), "{kind}");
+        assert_eq!(backend.live_deployments(), 0, "{kind}");
+
+        // Release after the policy withdrawal already freed everything.
+        let granted = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        backend.remove_policy("p").unwrap();
+        assert!(!backend.release_access("LTA", "weather"), "{kind}");
+        assert!(!backend.handle_is_live(granted.handle()), "{kind}");
+    }
+}
+
+#[test]
+fn unknown_handles_report_the_unified_error() {
+    use exacml::exacml_dsms::StreamHandle;
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
+
+        // Never-granted handles: not live, and subscribe reports the same
+        // unified variant on both shapes.
+        let foreign = StreamHandle::mint("elsewhere", 99);
+        assert!(!backend.handle_is_live(&foreign), "{kind}");
+        assert!(
+            matches!(backend.subscribe(&foreign), Err(ExacmlError::UnknownHandle(_))),
+            "{kind}"
+        );
+
+        // A released handle degrades to exactly the same error.
+        let granted = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(backend.subscribe(granted.handle()).is_ok(), "{kind}");
+        backend.release_access("LTA", "weather");
+        assert!(
+            matches!(backend.subscribe(granted.handle()), Err(ExacmlError::UnknownHandle(_))),
+            "{kind}"
+        );
+
+        // Requests missing mandatory attributes are rejected identically.
+        assert!(matches!(
+            backend.handle_request(&Request::new(), None),
+            Err(ExacmlError::IncompleteRequest(_))
+        ));
+    }
+}
+
+#[test]
+fn reuse_and_single_access_guard_semantics() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
+
+        // Identical re-request reuses the live handle.
+        let first = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let second = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(second.response.reused, "{kind}");
+        assert_eq!(first.handle(), second.handle(), "{kind}");
+        assert_eq!(backend.live_deployments(), 1, "{kind}");
+
+        // A *different* query on the same stream is blocked (Example 2).
+        let query = UserQuery::for_stream("weather").with_filter("rainrate > 70");
+        assert!(
+            matches!(
+                backend.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)),
+                Err(ExacmlError::MultipleAccess { .. })
+            ),
+            "{kind}"
+        );
+        // Releasing unblocks it.
+        assert!(backend.release_access("LTA", "weather"), "{kind}");
+        assert!(
+            backend.handle_request(&Request::subscribe("LTA", "weather"), Some(&query)).is_ok(),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn audit_trail_is_node_tagged_on_every_shape() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        let fabric_nodes = if kind == "data-server" { 1 } else { 3 };
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
+
+        backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let _ = backend.handle_request(&Request::subscribe("EMA", "weather"), None);
+        backend.release_access("LTA", "weather");
+        backend.remove_policy("p").unwrap();
+
+        let events = backend.audit_events();
+        let kinds: Vec<exacml::exacml_plus::AuditEventKind> =
+            events.iter().map(|t| t.event.kind).collect();
+        use exacml::exacml_plus::AuditEventKind as K;
+        for expected in
+            [K::PolicyLoaded, K::Granted, K::Denied, K::AccessReleased, K::PolicyRemoved]
+        {
+            assert!(kinds.contains(&expected), "{kind}: missing {expected} in {kinds:?}");
+        }
+        // Policy life-cycle events happen once per node (fabric-wide
+        // propagation), request events exactly once fabric-wide.
+        assert_eq!(kinds.iter().filter(|k| **k == K::PolicyLoaded).count(), fabric_nodes, "{kind}");
+        assert_eq!(kinds.iter().filter(|k| **k == K::Granted).count(), 1, "{kind}");
+        // Every event is tagged with a node of the right shape.
+        for tagged in &events {
+            match tagged.node {
+                NodeId::DataServer => assert_eq!(kind, "data-server"),
+                NodeId::Server(i) => {
+                    assert!(kind.starts_with("fabric"), "{kind}");
+                    assert!((i as usize) < fabric_nodes, "{kind}");
+                }
+                other => panic!("{kind}: audit event tagged with {other:?}"),
+            }
+        }
+
+        // Per-subject filtering matches on both shapes.
+        let lta = backend.audit_events_for_subject("LTA");
+        assert!(!lta.is_empty(), "{kind}");
+        assert!(lta.iter().all(|t| t.event.subject.as_deref() == Some("LTA")), "{kind}");
+    }
+}
+
+#[test]
+fn policy_xml_round_trips_through_the_trait() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        let xml = exacml::exacml_xacml::xml::write_policy(&rain_policy("p", "weather", "LTA"));
+        let elapsed = backend.load_policy_xml(&xml).unwrap();
+        assert!(elapsed > std::time::Duration::ZERO, "{kind}");
+        assert_eq!(backend.policy_count(), 1, "{kind}");
+        let granted = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(granted.response.streamsql.contains("rainrate > 5"), "{kind}");
+        // Malformed documents are rejected identically.
+        assert!(backend.load_policy_xml("<garbage").is_err(), "{kind}");
+    }
+}

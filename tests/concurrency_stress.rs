@@ -7,14 +7,19 @@
 //! and never withdrawn — must observe **every pushed tuple exactly once**,
 //! and the engine counters must reconcile with what the threads did.
 //!
+//! Producers and the churn thread drive the server exclusively through the
+//! unified `Arc<dyn Backend>` surface (the trait layer is `Send + Sync`, so
+//! it is what concurrent callers actually share); the engine-level counters
+//! stay visible through the concrete `DataServer` next to it.
+//!
 //! The workload size is overridable through environment variables so the
 //! nightly CI soak job can run the same invariants at a much larger scale:
 //! `STRESS_STREAMS`, `STRESS_BATCHES_PER_STREAM`, `STRESS_BATCH_SIZE`,
 //! `STRESS_CHURN_ROUNDS`.
 
+use exacml::prelude::*;
 use exacml_dsms::{QueryGraph, Schema, Tuple, Value};
-use exacml_plus::{DataServer, ServerConfig, StreamPolicyBuilder};
-use exacml_xacml::Request;
+use exacml_plus::{DataServer, ServerConfig};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -40,9 +45,12 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
     let churn_rounds = knob("STRESS_CHURN_ROUNDS", 30);
 
     let server = Arc::new(DataServer::new(ServerConfig::local()));
+    // The unified surface the threads share; the concrete server stays
+    // around for engine-level observability.
+    let backend: Arc<dyn Backend> = Arc::clone(&server) as Arc<dyn Backend>;
     let schema = Schema::weather_example();
     for i in 0..streams {
-        server.register_stream(&format!("s{i}"), schema.clone()).unwrap();
+        backend.register_stream(&format!("s{i}"), schema.clone()).unwrap();
     }
 
     // Stable observers: one identity deployment per stream, subscribed
@@ -55,10 +63,11 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
         })
         .collect();
 
-    // Producers: one thread per stream, pushing numbered batches.
+    // Producers: one thread per stream, pushing numbered batches through
+    // the trait object.
     let mut threads = Vec::new();
     for i in 0..streams {
-        let server = Arc::clone(&server);
+        let backend = Arc::clone(&backend);
         let schema = schema.clone();
         threads.push(std::thread::spawn(move || {
             let stream = format!("s{i}");
@@ -66,7 +75,7 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
                 let tuples: Vec<Tuple> = (0..batch_size)
                     .map(|k| marker_tuple(&schema, i, batch * batch_size + k))
                     .collect();
-                server.push_batch(&stream, tuples).unwrap();
+                backend.push_batch(&stream, tuples).unwrap();
             }
         }));
     }
@@ -75,7 +84,7 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
     // and remove/update the spawning policies, withdrawing the graphs while
     // producers are mid-batch.
     let churn = {
-        let server = Arc::clone(&server);
+        let backend = Arc::clone(&backend);
         std::thread::spawn(move || {
             let mut deployed = 0usize;
             for round in 0..churn_rounds {
@@ -86,10 +95,10 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
                     .subject(&subject)
                     .filter("rainrate > 5")
                     .build();
-                server.load_policy(policy).unwrap();
+                backend.load_policy(policy).unwrap();
                 let response =
-                    server.handle_request(&Request::subscribe(&subject, &stream), None).unwrap();
-                assert!(server.handle_is_live(&response.handle));
+                    backend.handle_request(&Request::subscribe(&subject, &stream), None).unwrap();
+                assert!(backend.handle_is_live(response.handle()));
                 deployed += 1;
                 if round % 3 == 0 {
                     // Modification also withdraws the spawned graphs.
@@ -97,12 +106,12 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
                         .subject(&subject)
                         .filter("rainrate > 50")
                         .build();
-                    assert_eq!(server.update_policy(updated).unwrap(), 1);
-                    server.remove_policy(&policy_id).unwrap();
+                    assert_eq!(backend.update_policy(updated).unwrap(), 1);
+                    backend.remove_policy(&policy_id).unwrap();
                 } else {
-                    assert_eq!(server.remove_policy(&policy_id).unwrap(), 1);
+                    assert_eq!(backend.remove_policy(&policy_id).unwrap(), 1);
                 }
-                assert!(!server.handle_is_live(&response.handle));
+                assert!(!backend.handle_is_live(response.handle()));
             }
             deployed
         })
@@ -137,7 +146,7 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
     assert!(stats.tuples_emitted >= total_pushed);
     assert_eq!(stats.deployments_created, (streams + churn_deployed) as u64);
     assert_eq!(stats.deployments_withdrawn, churn_deployed as u64);
-    assert_eq!(server.live_deployments(), streams);
+    assert_eq!(backend.live_deployments(), streams);
     // All churn policies were removed again.
-    assert_eq!(server.policy_count(), 0);
+    assert_eq!(backend.policy_count(), 0);
 }

@@ -1,11 +1,13 @@
 //! Integration tests of the distributed brokering fabric: ≥3 `DataServer`
 //! nodes behind the routing broker on `Topology::paper_testbed()`, driven
-//! through the facade crate.
+//! through the facade crate. Backend-agnostic semantics (grant/release,
+//! policy churn, audit) are pinned by `tests/backend_conformance.rs`; this
+//! suite covers what is *specific* to the fabric — routing exactness,
+//! fabric-wide cache invalidation, and virtual-clock delivery.
 
 use exacml::exacml_dsms::{Schema, Tuple, Value};
-use exacml::exacml_plus::{ExacmlError, Fabric, FabricConfig, StreamPolicyBuilder};
-use exacml::exacml_simnet::NodeId;
-use exacml::exacml_xacml::{Decision, Request};
+use exacml::exacml_xacml::Decision;
+use exacml::prelude::*;
 use std::collections::HashSet;
 use std::time::Duration;
 
@@ -182,7 +184,7 @@ fn delivery_is_exactly_once_with_latency_ordered_timestamps() {
     }
 
     // Drain in steps so in-flight tuples arrive across several polls.
-    let mut delivered: Vec<Vec<exacml::exacml_plus::DeliveredTuple>> =
+    let mut delivered: Vec<Vec<exacml::exacml_plus::fabric::DeliveredTuple>> =
         (0..STREAMS).map(|_| Vec::new()).collect();
     for _ in 0..50 {
         fabric.advance(Duration::from_millis(2));

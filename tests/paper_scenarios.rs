@@ -7,17 +7,13 @@
 //! * Example 4 — the DNF-based conflict procedure;
 //! * Table 1 / Table 2 — the obligation vocabulary and NOT-conversion rules.
 
+use exacml::prelude::*;
 use exacml_dsms::{AggFunc, AggSpec, Schema, Tuple, Value, WindowSpec};
 use exacml_expr::{analyze_merge, parse_expr, CmpOp, Verdict};
 use exacml_plus::obligations::ids;
-use exacml_plus::{
-    attack::simulate_attack, graph_from_obligations, merge_graphs, ClientInterface, DataServer,
-    ExacmlError, MergeOptions, Proxy, ServerConfig, StreamPolicyBuilder, UserQuery,
-};
-use exacml_xacml::Request;
-use std::sync::Arc;
+use exacml_plus::{attack::simulate_attack, graph_from_obligations, merge_graphs, MergeOptions};
 
-fn example1_policy() -> exacml_xacml::Policy {
+fn example1_policy() -> Policy {
     StreamPolicyBuilder::new("nea-weather-for-lta", "weather")
         .subject("LTA")
         .filter("rainrate > 5")
@@ -92,40 +88,44 @@ fn example2_reconstruction_and_single_access_prevention() {
         assert!((v - values[3 + k]).abs() < 1e-9);
     }
 
-    // eXACML+ blocks the second window for the same (subject, stream).
-    let server = Arc::new(DataServer::new(ServerConfig::local()));
-    server
-        .register_stream(
-            "s",
-            Schema::from_pairs([
-                ("samplingtime", exacml_dsms::DataType::Timestamp),
-                ("a", exacml_dsms::DataType::Double),
-            ]),
-        )
-        .unwrap();
-    server
-        .load_policy(
-            StreamPolicyBuilder::new("sums", "s")
-                .subject("attacker")
-                .visible_attributes(["samplingtime", "a"])
-                .window(WindowSpec::tuples(3, 2), vec![AggSpec::new("a", AggFunc::Sum)])
-                .build(),
-        )
-        .unwrap();
-    let client = ClientInterface::new(Arc::new(Proxy::new(Arc::clone(&server))));
-    let window = |size: u64| {
-        UserQuery::for_stream("s")
-            .with_aggregation(WindowSpec::tuples(size, 2), vec![AggSpec::new("a", AggFunc::Sum)])
-    };
-    client.request_access("attacker", "s", Some(&window(3))).unwrap();
-    assert!(matches!(
-        client.request_access("attacker", "s", Some(&window(4))),
-        Err(ExacmlError::MultipleAccess { .. })
-    ));
-    assert!(matches!(
-        client.request_access("attacker", "s", Some(&window(5))),
-        Err(ExacmlError::MultipleAccess { .. })
-    ));
+    // eXACML+ blocks the second window for the same (subject, stream) — on
+    // a single server and on a fabric alike.
+    for backend in [BackendBuilder::local().build(), BackendBuilder::fabric(3).build()] {
+        backend
+            .register_stream(
+                "s",
+                Schema::from_pairs([
+                    ("samplingtime", exacml_dsms::DataType::Timestamp),
+                    ("a", exacml_dsms::DataType::Double),
+                ]),
+            )
+            .unwrap();
+        backend
+            .load_policy(
+                StreamPolicyBuilder::new("sums", "s")
+                    .subject("attacker")
+                    .visible_attributes(["samplingtime", "a"])
+                    .window(WindowSpec::tuples(3, 2), vec![AggSpec::new("a", AggFunc::Sum)])
+                    .build(),
+            )
+            .unwrap();
+        let attacker = Session::new(backend.clone(), "attacker");
+        let window = |size: u64| {
+            UserQuery::for_stream("s").with_aggregation(
+                WindowSpec::tuples(size, 2),
+                vec![AggSpec::new("a", AggFunc::Sum)],
+            )
+        };
+        attacker.request_access("s", Some(&window(3))).unwrap();
+        assert!(matches!(
+            attacker.request_access("s", Some(&window(4))),
+            Err(ExacmlError::MultipleAccess { .. })
+        ));
+        assert!(matches!(
+            attacker.request_access("s", Some(&window(5))),
+            Err(ExacmlError::MultipleAccess { .. })
+        ));
+    }
 }
 
 #[test]
@@ -208,25 +208,29 @@ fn figure5_matrix_for_ge_versus_le() {
 #[test]
 fn workflow_steps_of_section_3_2_in_order() {
     // A single request exercises all five steps and reports a timing
-    // decomposition covering each of them.
-    let server = Arc::new(DataServer::new(ServerConfig::local()));
-    server.register_stream("weather", Schema::weather_example()).unwrap();
-    server.load_policy(example1_policy()).unwrap();
-    let response = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
-    assert!(response.timing.total >= response.timing.pdp);
-    assert!(response.timing.total >= response.timing.dsms);
-    assert!(!response.streamsql.is_empty());
-    assert!(server.handle_is_live(&response.handle));
-    // The derived stream really is windowed: pushing fewer tuples than the
-    // window size yields nothing.
-    let rx = server.subscribe(&response.handle).unwrap();
-    let schema = Schema::weather_example();
-    for i in 0..3 {
-        let t = Tuple::builder(&schema)
-            .set("samplingtime", Value::Timestamp(i))
-            .set("rainrate", 10.0)
-            .finish_with_defaults();
-        server.push("weather", t).unwrap();
+    // decomposition covering each of them — identically on both backends.
+    for backend in [BackendBuilder::local().build(), BackendBuilder::fabric(2).build()] {
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(example1_policy()).unwrap();
+        let session = Session::new(backend.clone(), "LTA");
+        let granted = session.request_access("weather", None).unwrap();
+        let timing = &granted.response.timing;
+        assert!(timing.total >= timing.pdp);
+        assert!(timing.total >= timing.dsms);
+        assert!(granted.total_latency() >= timing.total);
+        assert!(!granted.response.streamsql.is_empty());
+        assert!(backend.handle_is_live(granted.handle()));
+        // The derived stream really is windowed: pushing fewer tuples than
+        // the window size yields nothing.
+        let mut subscription = session.subscribe("weather").unwrap();
+        let schema = Schema::weather_example();
+        for i in 0..3 {
+            let t = Tuple::builder(&schema)
+                .set("samplingtime", Value::Timestamp(i))
+                .set("rainrate", 10.0)
+                .finish_with_defaults();
+            backend.push("weather", t).unwrap();
+        }
+        assert_eq!(subscription.drain().len(), 0);
     }
-    assert_eq!(rx.try_iter().count(), 0);
 }

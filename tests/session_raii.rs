@@ -1,0 +1,111 @@
+//! `Session` RAII coverage: dropping a session releases every handle it
+//! holds — on a single server and on a fabric — and a released handle's
+//! routing entry is pruned from the fabric's handle map
+//! (`Fabric::routed_handles()` observes it).
+
+use exacml::exacml_dsms::Schema;
+use exacml::prelude::*;
+use std::sync::Arc;
+
+fn policies_and_streams(backend: &dyn Backend, streams: usize) -> Vec<String> {
+    let names: Vec<String> = (0..streams).map(|i| format!("stream{i}")).collect();
+    for name in &names {
+        backend.register_stream(name, Schema::weather_example()).unwrap();
+        backend
+            .load_policy(
+                StreamPolicyBuilder::new(format!("p-{name}"), name)
+                    .subject("LTA")
+                    .filter("rainrate > 5")
+                    .build(),
+            )
+            .unwrap();
+    }
+    names
+}
+
+#[test]
+fn dropping_a_session_releases_all_local_handles() {
+    let backend = BackendBuilder::local().build();
+    let names = policies_and_streams(backend.as_ref(), 4);
+    {
+        let session = Session::new(backend.clone(), "LTA");
+        for name in &names {
+            session.request_access(name, None).unwrap();
+        }
+        assert_eq!(session.live_handles().len(), 4);
+        assert_eq!(backend.live_deployments(), 4);
+    }
+    // RAII: every deployment the session held is withdrawn.
+    assert_eq!(backend.live_deployments(), 0);
+    // The subject is free to request different queries immediately.
+    let session = Session::new(backend, "LTA");
+    let query = UserQuery::for_stream(&names[0]).with_filter("rainrate > 70");
+    assert!(session.request_access(&names[0], Some(&query)).is_ok());
+}
+
+#[test]
+fn dropping_a_session_releases_fabric_handles_and_prunes_routing_entries() {
+    // Keep a concrete view of the fabric next to the trait-object view the
+    // session uses, so the routing table is observable.
+    let fabric = Arc::new(Fabric::new(FabricConfig::local(3)));
+    let backend: Arc<dyn Backend> = fabric.clone();
+    let names = policies_and_streams(backend.as_ref(), 6);
+
+    {
+        let session = Session::new(backend.clone(), "LTA");
+        for name in &names {
+            session.request_access(name, None).unwrap();
+        }
+        assert_eq!(session.live_handles().len(), 6);
+        assert_eq!(fabric.routed_handles(), 6);
+        assert_eq!(fabric.live_deployments(), 6);
+        // The grants landed on more than one node (rendezvous placement).
+        let busy_nodes =
+            fabric.nodes().iter().filter(|n| n.server().live_deployments() > 0).count();
+        assert!(busy_nodes > 1, "6 streams on 3 nodes should use more than one node");
+    }
+    // RAII fabric-wide: deployments withdrawn on every node *and* the
+    // broker's handle → node routing entries pruned.
+    assert_eq!(fabric.live_deployments(), 0);
+    assert_eq!(fabric.routed_handles(), 0, "dead handles must not linger in the routing map");
+}
+
+#[test]
+fn explicit_release_prunes_the_routing_entry_too() {
+    let fabric = Arc::new(Fabric::new(FabricConfig::local(2)));
+    let backend: Arc<dyn Backend> = fabric.clone();
+    let names = policies_and_streams(backend.as_ref(), 2);
+
+    let session = Session::new(backend, "LTA");
+    let granted = session.request_access(&names[0], None).unwrap();
+    session.request_access(&names[1], None).unwrap();
+    assert_eq!(fabric.routed_handles(), 2);
+
+    assert!(session.release(&names[0]));
+    assert_eq!(fabric.routed_handles(), 1, "released handle's routing entry must be pruned");
+    assert!(!fabric.handle_is_live(granted.handle()));
+    assert!(session.handle_for(&names[0]).is_none());
+    // The other grant is untouched.
+    assert_eq!(session.live_handles().len(), 1);
+    assert!(fabric.handle_is_live(session.handle_for(&names[1]).as_ref().unwrap()));
+
+    // Double release through the session is a no-op, like on the backend.
+    assert!(!session.release(&names[0]));
+    assert_eq!(fabric.routed_handles(), 1);
+}
+
+#[test]
+fn session_survives_server_side_withdrawal() {
+    // A policy change withdraws a session's grant server-side; the session
+    // must observe the death and its drop must stay a clean no-op.
+    let backend = BackendBuilder::fabric(3).build();
+    let names = policies_and_streams(backend.as_ref(), 2);
+    let session = Session::new(backend.clone(), "LTA");
+    session.request_access(&names[0], None).unwrap();
+    session.request_access(&names[1], None).unwrap();
+
+    backend.remove_policy(&format!("p-{}", names[0])).unwrap();
+    assert_eq!(session.live_handles().len(), 1, "withdrawn grant no longer counts as live");
+    drop(session);
+    assert_eq!(backend.live_deployments(), 0);
+}

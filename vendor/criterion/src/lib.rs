@@ -1,4 +1,4 @@
-//! Minimal vendored stand-in for [`criterion`].
+//! Minimal vendored stand-in for `criterion`.
 //!
 //! Implements the API slice the workspace's five benches use — benchmark
 //! groups, `iter`/`iter_batched`, throughput annotation — with a simple

@@ -1,4 +1,4 @@
-//! Minimal vendored stand-in for [`crossbeam`]'s multi-consumer channels.
+//! Minimal vendored stand-in for `crossbeam`'s multi-consumer channels.
 //!
 //! Only the `channel` module is provided, backed by `std::sync::mpsc` with the
 //! receiver wrapped in an `Arc<Mutex<..>>` so it can be cloned like

@@ -1,4 +1,4 @@
-//! Minimal vendored stand-in for [`parking_lot`].
+//! Minimal vendored stand-in for `parking_lot`.
 //!
 //! The build environment has no access to a crates registry, so this crate
 //! re-implements the small slice of the `parking_lot` API the workspace uses

@@ -1,4 +1,4 @@
-//! Minimal vendored stand-in for the slice of [`rand`] 0.8 this workspace
+//! Minimal vendored stand-in for the slice of `rand` 0.8 this workspace
 //! uses: `Rng::{gen_range, gen_bool}`, `SeedableRng::seed_from_u64`, and
 //! `rngs::StdRng`.
 //!

@@ -1,4 +1,4 @@
-//! Minimal vendored stand-in for [`serde`].
+//! Minimal vendored stand-in for `serde`.
 //!
 //! The build environment has no registry access, so this crate provides the
 //! slice of serde the workspace actually uses: `#[derive(Serialize)]` /

@@ -1,4 +1,4 @@
-//! Minimal vendored stand-in for [`serde_json`]: render the vendored serde
+//! Minimal vendored stand-in for `serde_json`: render the vendored serde
 //! stand-in's `Content` tree as JSON text, and parse JSON text into a
 //! dynamically-typed [`Value`] (used by the CI perf-regression gate to
 //! compare benchmark reports).
