@@ -17,6 +17,11 @@
 //!   unified backend API every scenario now uses). The `dyn_vs_direct`
 //!   ratio is gated by `perf_gate`, pinning that the trait layer adds no
 //!   measurable overhead.
+//! * **Durability** — the same batched ingest through a `DurableServer`
+//!   with ingest journaling on: every batch is encoded, checksummed and
+//!   flushed to the write-ahead log before the push is acknowledged. The
+//!   `durable_vs_direct` ratio is gated by `perf_gate` with an absolute
+//!   floor of 0.5 (WAL-on ingest must stay within 2× of direct ingest).
 //!
 //! ```text
 //! cargo run --release -p exacml-bench --bin engine_throughput -- \
@@ -28,6 +33,7 @@ use exacml_bench::report::{write_json, CliOptions};
 use exacml_dsms::{
     AggFunc, AggSpec, QueryGraph, QueryGraphBuilder, Schema, StreamEngine, Tuple, Value, WindowSpec,
 };
+use exacml_durable::{DurableConfig, DurableServer};
 use exacml_plus::{Backend, DataServer, ServerConfig, StreamPolicyBuilder};
 use exacml_xacml::{Pdp, PolicyStore, Request};
 use parking_lot::Mutex;
@@ -73,6 +79,21 @@ struct AbstractionResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct DurabilityResult {
+    threads: usize,
+    tuples: usize,
+    /// Batched ingest through a plain in-memory `DataServer`.
+    direct_tuples_per_sec: f64,
+    /// The same ingest through a `DurableServer` journaling every batch to
+    /// its write-ahead log before acknowledging.
+    durable_tuples_per_sec: f64,
+    /// durable / direct — the WAL-on ingest cost. Gated by `perf_gate`
+    /// relative to the committed baseline *and* against an absolute floor
+    /// of 0.5 (≤ 2× overhead).
+    durable_vs_direct: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     pr: u32,
     bench: String,
@@ -83,6 +104,8 @@ struct ThroughputReport {
     pdp: PdpResult,
     /// Trait-object overhead on the hot ingest path.
     backend_abstraction: AbstractionResult,
+    /// Write-ahead-log overhead on the hot ingest path.
+    durability: DurabilityResult,
 }
 
 fn weather_tuples(schema: &Schema, n: usize) -> Vec<Tuple> {
@@ -249,6 +272,56 @@ fn run_server_ingest(
     }
 }
 
+/// Tuples/sec for `threads` producers pushing batches into a
+/// `DurableServer` with ingest journaling enabled — setup, batching and
+/// tuple stream identical to the direct `DataServer` measurement, so the
+/// ratio isolates what the write-ahead log costs on the hot path (encode +
+/// checksum + flush per batch, serialized on the journal).
+fn run_durable_ingest(
+    threads: usize,
+    tuples: &[Tuple],
+    schema: &Schema,
+    batch_size: usize,
+) -> IngestRow {
+    let store =
+        std::env::temp_dir().join(format!("exacml-bench-durable-{}-{threads}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let config = DurableConfig {
+        journal_ingest: true,
+        sync_writes: false,
+        snapshot_every: 0,
+        ..DurableConfig::local()
+    };
+    let server = Arc::new(DurableServer::create(&store, config).expect("create bench store"));
+    for i in 0..threads {
+        server.register_stream(&format!("s{i}"), schema.clone()).unwrap();
+        server.inner().engine().deploy(&example1_graph(&format!("s{i}"))).unwrap();
+    }
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..threads {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                let stream = format!("s{i}");
+                for chunk in tuples.chunks(batch_size) {
+                    server.push_batch(&stream, chunk.to_vec()).unwrap();
+                }
+            });
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let total = tuples.len() * threads;
+    drop(server);
+    let _ = std::fs::remove_dir_all(&store);
+    IngestRow {
+        mode: "durable_wal_push_batch".into(),
+        threads,
+        tuples: total,
+        seconds,
+        tuples_per_sec: total as f64 / seconds,
+    }
+}
+
 fn run_pdp(policies: usize, decisions: usize) -> PdpResult {
     let store = Arc::new(PolicyStore::new());
     for i in 0..policies {
@@ -370,8 +443,27 @@ fn main() {
         backend_abstraction.dyn_tuples_per_sec,
         backend_abstraction.dyn_vs_direct,
     );
-    ingest.push(direct);
+    ingest.push(direct.clone());
     ingest.push(dynamic);
+
+    // WAL overhead at the same thread count: identical batched ingest, plain
+    // `DataServer` vs. `DurableServer` journaling every batch.
+    let durable = best(&|| run_durable_ingest(abstraction_threads, &tuples, &schema, batch_size));
+    let durability = DurabilityResult {
+        threads: abstraction_threads,
+        tuples: durable.tuples,
+        direct_tuples_per_sec: direct.tuples_per_sec,
+        durable_tuples_per_sec: durable.tuples_per_sec,
+        durable_vs_direct: durable.tuples_per_sec / direct.tuples_per_sec,
+    };
+    println!(
+        "  durability ({} threads): direct {:>12.0} t/s | WAL-journaled {:>12.0} t/s ({:.3}x)",
+        durability.threads,
+        durability.direct_tuples_per_sec,
+        durability.durable_tuples_per_sec,
+        durability.durable_vs_direct,
+    );
+    ingest.push(durable);
 
     let report = ThroughputReport {
         pr: 2,
@@ -381,6 +473,7 @@ fn main() {
         ingest_speedup_at_threads: speedups,
         pdp,
         backend_abstraction,
+        durability,
     };
     let path =
         options.json.unwrap_or_else(|| std::path::PathBuf::from("BENCH_pr2_throughput.json"));

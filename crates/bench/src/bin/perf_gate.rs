@@ -110,8 +110,20 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
     {
         metrics.push(("backend_dyn_vs_direct".to_string(), value));
     }
+    // The WAL-on ingest ratio (PR 5): `DurableServer` journaled ingest vs.
+    // plain `DataServer` ingest. Also held to an absolute floor below.
+    if let Some(value) =
+        report.get("durability").and_then(|d| d.get("durable_vs_direct")).and_then(Value::as_f64)
+    {
+        metrics.push(("ingest_durable_vs_direct".to_string(), value));
+    }
     metrics
 }
+
+/// Absolute floors: ratios that must hold on *every* machine, not merely
+/// stay close to the committed baseline. WAL-on ingest must keep at least
+/// half of direct ingest throughput (the "≤ 2× durability overhead" pin).
+const ABSOLUTE_FLOORS: [(&str, f64); 1] = [("ingest_durable_vs_direct", 0.5)];
 
 fn main() -> ExitCode {
     let options = parse_args();
@@ -146,6 +158,19 @@ fn main() -> ExitCode {
             ratio,
             pass: ratio >= 1.0 - options.tolerance,
         });
+    }
+    // Machine-independent pins on the current report (no tolerance: the
+    // floor *is* the contract).
+    for (name, floor) in ABSOLUTE_FLOORS {
+        if let Some((_, cur)) = current.iter().find(|(n, _)| n == name) {
+            diffs.push(MetricDiff {
+                metric: format!("{name}_floor"),
+                baseline: floor,
+                current: *cur,
+                ratio: cur / floor,
+                pass: *cur >= floor,
+            });
+        }
     }
 
     let pass = diffs.iter().all(|d| d.pass);

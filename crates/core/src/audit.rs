@@ -35,6 +35,23 @@ pub enum AuditEventKind {
     AccessReleased,
 }
 
+impl AuditEventKind {
+    /// Every kind, in declaration order. A journal that serializes kinds by
+    /// name (the serde derive uses the *variant* names, e.g. `"Granted"`)
+    /// can parse them back by scanning this list.
+    pub const ALL: [AuditEventKind; 9] = [
+        AuditEventKind::Granted,
+        AuditEventKind::Reused,
+        AuditEventKind::Denied,
+        AuditEventKind::Conflict,
+        AuditEventKind::MultipleAccessBlocked,
+        AuditEventKind::PolicyLoaded,
+        AuditEventKind::PolicyRemoved,
+        AuditEventKind::PolicyUpdated,
+        AuditEventKind::AccessReleased,
+    ];
+}
+
 impl std::fmt::Display for AuditEventKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -128,6 +145,19 @@ impl AuditLog {
         sequence
     }
 
+    /// Recovery hook: replace the log's contents with journaled events,
+    /// preserving their original sequence numbers and timestamps. Only the
+    /// `capacity` most-recent events are retained (older ones count as
+    /// dropped, as if they had been evicted live); new recordings continue
+    /// after the highest restored sequence number.
+    pub fn restore(&mut self, mut events: Vec<AuditEvent>) {
+        self.next_sequence =
+            events.iter().map(|e| e.sequence + 1).max().unwrap_or(0).max(self.next_sequence);
+        let overflow = events.len().saturating_sub(self.capacity);
+        self.dropped += overflow as u64;
+        self.events = events.drain(overflow..).collect();
+    }
+
     /// Number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -150,6 +180,16 @@ impl AuditLog {
     #[must_use]
     pub fn events(&self) -> Vec<AuditEvent> {
         self.events.iter().cloned().collect()
+    }
+
+    /// Retained events with `sequence >= from`, oldest first. Incremental
+    /// consumers (e.g. a journal tailing the log) pass one past the last
+    /// sequence they saw and clone only the new tail, not the whole log.
+    #[must_use]
+    pub fn events_since(&self, from: u64) -> Vec<AuditEvent> {
+        // Events are stored in sequence order; skip the already-seen prefix.
+        let start = self.events.partition_point(|e| e.sequence < from);
+        self.events.iter().skip(start).cloned().collect()
     }
 
     /// Retained events involving a subject.
@@ -200,6 +240,20 @@ mod tests {
         let events = log.events();
         assert!(events.windows(2).all(|w| w[1].sequence > w[0].sequence));
         assert!(events[0].kind.to_string().contains("policy-loaded"));
+    }
+
+    #[test]
+    fn events_since_returns_only_the_new_tail() {
+        let mut log = AuditLog::with_capacity(100);
+        for i in 0..6 {
+            log.record(AuditEventKind::Granted, Some(&format!("u{i}")), None, None, "");
+        }
+        assert_eq!(log.events_since(0).len(), 6);
+        let tail = log.events_since(4);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].sequence, 4);
+        assert!(log.events_since(6).is_empty());
+        assert!(log.events_since(999).is_empty());
     }
 
     #[test]

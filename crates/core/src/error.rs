@@ -33,6 +33,10 @@ pub enum ExacmlError {
     Xacml(XacmlError),
     /// The referenced stream handle is unknown or no longer live.
     UnknownHandle(String),
+    /// The durability layer failed: a journal or snapshot could not be
+    /// written, or a persisted store could not be read back into a
+    /// consistent server state.
+    Durability(String),
 }
 
 impl fmt::Display for ExacmlError {
@@ -64,6 +68,7 @@ impl fmt::Display for ExacmlError {
             ExacmlError::Dsms(e) => write!(f, "DSMS error: {e}"),
             ExacmlError::Xacml(e) => write!(f, "XACML error: {e}"),
             ExacmlError::UnknownHandle(uri) => write!(f, "unknown stream handle '{uri}'"),
+            ExacmlError::Durability(detail) => write!(f, "durability error: {detail}"),
         }
     }
 }

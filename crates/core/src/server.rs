@@ -184,6 +184,22 @@ impl DataServer {
         self.audit.lock().by_subject(subject)
     }
 
+    /// Audit events with `sequence >= from` — the incremental view a
+    /// journal uses to tail the log without cloning it wholesale.
+    #[must_use]
+    pub fn audit_events_since(&self, from: u64) -> Vec<crate::audit::AuditEvent> {
+        self.audit.lock().events_since(from)
+    }
+
+    /// Recovery hook: replace the audit trail with journaled events,
+    /// preserving their original sequence numbers and timestamps. A durable
+    /// wrapper replays the journaled operations through the normal workflow
+    /// (which re-records them with fresh timestamps) and then restores the
+    /// authoritative pre-crash trail with this.
+    pub fn restore_audit(&self, events: Vec<crate::audit::AuditEvent>) {
+        self.audit.lock().restore(events);
+    }
+
     // --- stream management -------------------------------------------------
 
     /// Register an input stream on the back-end DSMS.

@@ -135,6 +135,15 @@ impl StreamCatalog {
         handle
     }
 
+    /// Recovery hook: resume handle-serial minting at `serial` (no-op when
+    /// the counter is already past it). A recovering server replays each
+    /// surviving deployment with the serial it held before the crash, then
+    /// advances the counter past the largest serial ever minted so released
+    /// handles are never re-issued to a different deployment.
+    pub fn resume_serial_at(&self, serial: u64) {
+        self.serial.fetch_max(serial, Ordering::Relaxed);
+    }
+
     /// Forget a handle (when its deployment is withdrawn).
     pub fn release_handle(&self, handle: &StreamHandle) {
         self.handles.write().remove(handle);

@@ -423,6 +423,19 @@ impl StreamEngine {
         Ok(self.process_locked(&mut deployments, &batch))
     }
 
+    /// Recovery hook: resume deployment-id and handle-serial minting at
+    /// `next` (no-op when the counters are already past it). Deployment ids
+    /// and handle serials advance in lockstep — every handle is minted by a
+    /// deploy — so a recovering server replays each surviving deployment
+    /// with the id it held before the crash (re-minting the *same* handle
+    /// URI), then advances past the largest id ever minted so a released
+    /// handle can never come back to life pointing at a different
+    /// deployment.
+    pub fn resume_ids_at(&self, next: u64) {
+        self.next_id.fetch_max(next, Ordering::Relaxed);
+        self.catalog.resume_serial_at(next);
+    }
+
     /// Number of live deployments.
     #[must_use]
     pub fn deployment_count(&self) -> usize {

@@ -1,0 +1,212 @@
+//! Snapshots: the compacted logical state of a durable server.
+//!
+//! A snapshot folds the whole journal history into the state that still
+//! matters — registered streams, the loaded policies in store order, the
+//! *live* grants, the audit trail, and the counters replay must resume
+//! (journal sequence, store revision, deployment ids). Everything released,
+//! removed or superseded before the snapshot is simply absent, which is
+//! what keeps replay bounded: recovery cost is proportional to the live
+//! state plus the WAL tail since the last snapshot, never to the server's
+//! lifetime.
+//!
+//! The snapshot is one framed line (the WAL's checksum framing) written to
+//! a temporary file, fsynced, and atomically renamed over `snapshot.json` —
+//! a crash leaves either the old snapshot or the new one, never a torn mix.
+//! The WAL is reset only *after* the rename; a crash in between is safe
+//! because every WAL record's sequence number is compared against the
+//! snapshot's [`Snapshot::wal_horizon`] during replay, so already-folded
+//! records are skipped, not applied twice.
+
+use crate::record::{decode_audit_event, decode_grant, decode_schema, GrantRecord};
+use crate::wal::{frame, unframe};
+use exacml_dsms::Schema;
+use exacml_plus::AuditEvent;
+use serde::Serialize;
+use serde_json::Value;
+use std::path::Path;
+
+/// A registered input stream, as carried in snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamEntry {
+    /// The stream name.
+    pub name: String,
+    /// Its schema.
+    pub schema: Schema,
+}
+
+/// The compacted logical state of a durable server.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Snapshot {
+    /// Snapshot format version.
+    pub version: u64,
+    /// The journal horizon: every WAL record with `seq < wal_horizon` is
+    /// already folded into this snapshot and is skipped during replay.
+    pub wal_horizon: u64,
+    /// The policy store's revision counter at snapshot time (restored so
+    /// decision caches built before the crash stay invalidated).
+    pub store_revision: u64,
+    /// One past the largest deployment id ever minted (so released handles
+    /// are never re-issued after recovery).
+    pub next_deployment_id: u64,
+    /// Registered input streams, sorted by name.
+    pub streams: Vec<StreamEntry>,
+    /// Loaded policies in store order (first-applicable combining is order
+    /// dependent), each as its XACML document.
+    pub policies: Vec<String>,
+    /// Live grants, ascending by deployment id (replay order).
+    pub grants: Vec<GrantRecord>,
+    /// The audit trail, verbatim.
+    pub audit: Vec<AuditEvent>,
+}
+
+/// Write a snapshot atomically: temporary file, fsync, rename.
+///
+/// # Errors
+/// Propagates I/O errors and unencodable floats.
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), String> {
+    let payload = serde_json::to_string(snapshot).map_err(|e| e.to_string())?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, frame(&payload)).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(&tmp).map_err(|e| e.to_string())?;
+    file.sync_all().map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, path).map_err(|e| e.to_string())
+}
+
+/// Read a snapshot back. A missing file reads as `None` (genesis recovery);
+/// a present but unreadable one is an error — unlike a torn WAL tail it
+/// cannot be partially salvaged, and silently starting empty would violate
+/// the durability promise.
+///
+/// # Errors
+/// Fails on I/O errors, checksum mismatches and vocabulary mismatches.
+pub fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.to_string()),
+    };
+    let payload = unframe(text.trim_end_matches('\n'))
+        .ok_or_else(|| format!("{}: snapshot frame or checksum mismatch", path.display()))?;
+    let value = serde_json::from_str(payload).map_err(|e| e.to_string())?;
+    decode_snapshot(&value).map(Some)
+}
+
+fn u64_of(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("snapshot is missing numeric '{key}'"))
+}
+
+fn seq_of<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], String> {
+    value
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("snapshot is missing array '{key}'"))
+}
+
+fn decode_snapshot(value: &Value) -> Result<Snapshot, String> {
+    let mut streams = Vec::new();
+    for entry in seq_of(value, "streams")? {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "stream entry without a name".to_string())?;
+        let schema = decode_schema(
+            entry.get("schema").ok_or_else(|| "stream entry without a schema".to_string())?,
+        )?;
+        streams.push(StreamEntry { name: name.to_string(), schema });
+    }
+    let policies = seq_of(value, "policies")?
+        .iter()
+        .map(|p| p.as_str().map(str::to_string).ok_or_else(|| "policy is not a string".to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let grants =
+        seq_of(value, "grants")?.iter().map(decode_grant).collect::<Result<Vec<_>, _>>()?;
+    let audit =
+        seq_of(value, "audit")?.iter().map(decode_audit_event).collect::<Result<Vec<_>, _>>()?;
+    Ok(Snapshot {
+        version: u64_of(value, "version")?,
+        wal_horizon: u64_of(value, "wal_horizon")?,
+        store_revision: u64_of(value, "store_revision")?,
+        next_deployment_id: u64_of(value, "next_deployment_id")?,
+        streams,
+        policies,
+        grants,
+        audit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacml_plus::AuditEventKind;
+    use std::path::PathBuf;
+
+    fn temp_snapshot(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("exacml-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("snapshot.json")
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            version: 1,
+            wal_horizon: 42,
+            store_revision: 7,
+            next_deployment_id: 12,
+            streams: vec![StreamEntry {
+                name: "weather".into(),
+                schema: Schema::weather_example(),
+            }],
+            policies: vec!["<Policy PolicyId=\"p\"/>".into()],
+            grants: vec![GrantRecord {
+                subject: "LTA".into(),
+                stream: "weather".into(),
+                query_xml: None,
+                deployment: 11,
+                handle: "exacml://dsms/streams/11".into(),
+            }],
+            audit: vec![AuditEvent {
+                sequence: 3,
+                timestamp_ms: 123,
+                kind: AuditEventKind::Granted,
+                subject: Some("LTA".into()),
+                stream: Some("weather".into()),
+                policy_id: Some("p".into()),
+                detail: "handle exacml://dsms/streams/11".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let path = temp_snapshot("rt");
+        assert!(read_snapshot(&path).unwrap().is_none());
+        let snapshot = sample();
+        write_snapshot(&path, &snapshot).unwrap();
+        let read = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(read.wal_horizon, snapshot.wal_horizon);
+        assert_eq!(read.store_revision, snapshot.store_revision);
+        assert_eq!(read.next_deployment_id, snapshot.next_deployment_id);
+        assert_eq!(read.streams, snapshot.streams);
+        assert_eq!(read.policies, snapshot.policies);
+        assert_eq!(read.grants, snapshot.grants);
+        assert_eq!(read.audit, snapshot.audit);
+        // No leftover temporary file.
+        assert!(!path.with_extension("json.tmp").exists());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_errors_not_empty_stores() {
+        let path = temp_snapshot("bad");
+        write_snapshot(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).unwrap_err().contains("checksum"));
+    }
+}

@@ -316,6 +316,18 @@ impl PolicyStore {
         self.inner.read().revision
     }
 
+    /// Recovery hook: advance the revision counter to at least `revision`
+    /// (no-op when the store is already past it). A store rebuilt from a
+    /// compacted journal has seen fewer add/remove/update events than the
+    /// original, so replay alone would leave the counter behind the value
+    /// persisted at the last snapshot; jumping forward restores the
+    /// pre-crash revision and conservatively invalidates every coupled
+    /// decision cache.
+    pub fn resume_revision_at(&self, revision: u64) {
+        let mut inner = self.inner.write();
+        inner.revision = inner.revision.max(revision);
+    }
+
     /// Visit every policy in evaluation order without cloning, stopping when
     /// the visitor returns `Some`. This is the reference evaluation path —
     /// the indexed candidate sets must agree with it, which the property

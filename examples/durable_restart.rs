@@ -1,0 +1,106 @@
+//! Kill the server mid-stream, recover it from disk — nothing is lost.
+//!
+//! The scenario: the LTA is granted access to a weather stream and is
+//! consuming derived tuples when the process "crashes" (we drop the backend
+//! with no shutdown protocol and leak the session so nothing gets
+//! released). A second backend built with the *same* `durable(path)` line
+//! then recovers the store: the policy, the LTA's grant (same handle URI),
+//! the single-access guard state and the audit trail — original timestamps
+//! and all — are back, and streaming resumes.
+//!
+//! ```sh
+//! cargo run --example durable_restart
+//! ```
+
+use exacml::exacml_dsms::{Schema, StreamHandle, Tuple, Value};
+use exacml::prelude::*;
+use std::sync::Arc;
+
+fn weather_tuple(schema: &Arc<Schema>, i: i64, rain: f64) -> Tuple {
+    Tuple::builder_shared(schema)
+        .set("samplingtime", Value::Timestamp(i * 30_000))
+        .set("rainrate", rain)
+        .finish_with_defaults()
+}
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("exacml-durable-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let schema = Schema::weather_example().shared();
+
+    // --- life before the crash --------------------------------------------
+    println!("=== before the crash ===");
+    let held_handle = {
+        let backend = BackendBuilder::durable(&store).build();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend
+            .load_policy(
+                StreamPolicyBuilder::new("nea-weather-for-lta", "weather")
+                    .subject("LTA")
+                    .filter("rainrate > 5")
+                    .build(),
+            )
+            .unwrap();
+
+        let session = Session::new(backend.clone(), "LTA");
+        let granted = session.request_access("weather", None).unwrap();
+        let mut subscription = session.subscribe("weather").unwrap();
+        backend
+            .push_batch("weather", (0..30).map(|i| weather_tuple(&schema, i, 12.0)).collect())
+            .unwrap();
+        println!("  granted {} to LTA", granted.handle());
+        println!("  streamed 30 tuples, LTA consumed {}", subscription.drain().len());
+
+        let handle = granted.handle().uri().to_string();
+        // Simulate the crash: leak the session (so RAII can't release the
+        // grant) and drop the backend mid-stream.
+        std::mem::forget(session);
+        handle
+    };
+    println!("  *** process crashed — server state dropped ***");
+
+    // --- recovery -----------------------------------------------------------
+    println!("=== after restart (same builder line) ===");
+    let backend = BackendBuilder::durable(&store).build();
+    println!("  backend kind: {}", backend.backend_kind());
+    println!("  policies recovered: {}", backend.policy_count());
+    println!("  live deployments recovered: {}", backend.live_deployments());
+
+    // The handle the LTA still holds points at a live stream again.
+    let held = StreamHandle::from_uri(held_handle);
+    assert!(backend.handle_is_live(&held));
+    println!("  held handle {held} is live again");
+
+    // Streaming resumes exactly where the policy allows.
+    let mut subscription = backend.subscribe(&held).unwrap();
+    backend
+        .push_batch("weather", (0..10).map(|i| weather_tuple(&schema, i, 8.0)).collect())
+        .unwrap();
+    println!("  streamed 10 more tuples, consumed {}", subscription.drain().len());
+
+    // The guard state survived: a different query on the held stream is
+    // still blocked until the LTA releases.
+    let refined = UserQuery::for_stream("weather").with_filter("rainrate > 70");
+    let blocked = backend.handle_request(&Request::subscribe("LTA", "weather"), Some(&refined));
+    assert!(matches!(blocked, Err(ExacmlError::MultipleAccess { .. })));
+    println!("  single-access guard still blocks a second query for LTA");
+
+    // The audit trail survived verbatim — grants recorded before the crash
+    // are still accountable after it.
+    println!("  audit trail ({} events):", backend.audit_events().len());
+    for tagged in backend.audit_events() {
+        let event = &tagged.event;
+        println!(
+            "    #{} [{}] {} subject={} stream={}",
+            event.sequence,
+            tagged.node,
+            event.kind,
+            event.subject.as_deref().unwrap_or("-"),
+            event.stream.as_deref().unwrap_or("-"),
+        );
+    }
+
+    assert!(backend.release_access("LTA", "weather"));
+    println!("  LTA released its access; store stays consistent for the next restart");
+    let _ = std::fs::remove_dir_all(&store);
+}

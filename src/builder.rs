@@ -1,9 +1,11 @@
 //! The one-line backend switch: [`BackendBuilder`].
 //!
 //! Every deployment shape of the reproduction — a single in-process
-//! [`DataServer`], an N-node brokering [`Fabric`] — is built through the
+//! [`DataServer`], an N-node brokering [`Fabric`], a disk-backed
+//! [`DurableServer`] — is built through the
 //! same builder and handed back as an `Arc<dyn Backend>`, so swapping a
-//! scenario from one node to N is literally one changed line:
+//! scenario from one node to N (or onto disk) is literally one changed
+//! line:
 //!
 //! ```
 //! use exacml::prelude::*;
@@ -17,19 +19,23 @@
 //! For the unconfigured cases, `exacml_plus` also ships
 //! `<dyn Backend>::local()` / `<dyn Backend>::fabric(n)` shorthands.
 
-use exacml_plus::{Backend, DataServer, Fabric, FabricConfig, ServerConfig};
+use exacml_durable::{DurableConfig, DurableServer, TopologyPreset};
+use exacml_plus::{Backend, DataServer, ExacmlError, Fabric, FabricConfig, ServerConfig};
 use exacml_simnet::Topology;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::session::Session;
 
 /// Which deployment shape to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Shape {
     /// One in-process data server.
     Single,
     /// N data-server nodes behind the routing broker.
     Fabric(usize),
+    /// One data server wrapped in WAL + snapshot persistence at this path.
+    Durable(PathBuf),
 }
 
 /// Builds any eXACML+ backend behind one API.
@@ -42,46 +48,98 @@ enum Shape {
 pub struct BackendBuilder {
     shape: Shape,
     topology: Topology,
+    /// The named preset `topology` was constructed from — what a durable
+    /// store persists, since an arbitrary link table has no name on disk.
+    preset: TopologyPreset,
     seed: u64,
     deploy_on_partial_result: bool,
 }
 
 impl BackendBuilder {
-    fn new(shape: Shape, topology: Topology) -> Self {
-        BackendBuilder { shape, topology, seed: 42, deploy_on_partial_result: false }
+    fn new(shape: Shape, preset: TopologyPreset) -> Self {
+        BackendBuilder {
+            shape,
+            topology: preset.topology(),
+            preset,
+            seed: 42,
+            deploy_on_partial_result: false,
+        }
     }
 
     /// A single in-process data server on loopback links (unit tests,
     /// quickstarts).
     #[must_use]
     pub fn local() -> Self {
-        BackendBuilder::new(Shape::Single, Topology::local())
+        BackendBuilder::new(Shape::Single, TopologyPreset::Local)
     }
 
     /// A single data server on the paper's coordinator/broker/server
     /// testbed links.
     #[must_use]
     pub fn server() -> Self {
-        BackendBuilder::new(Shape::Single, Topology::paper_testbed())
+        BackendBuilder::new(Shape::Single, TopologyPreset::PaperTestbed)
     }
 
     /// An N-node brokering fabric on loopback links.
     #[must_use]
     pub fn fabric(nodes: usize) -> Self {
-        BackendBuilder::new(Shape::Fabric(nodes.max(1)), Topology::local())
+        BackendBuilder::new(Shape::Fabric(nodes.max(1)), TopologyPreset::Local)
     }
 
     /// An N-node fabric on the paper's testbed links.
     #[must_use]
     pub fn paper_testbed(nodes: usize) -> Self {
-        BackendBuilder::new(Shape::Fabric(nodes.max(1)), Topology::paper_testbed())
+        BackendBuilder::new(Shape::Fabric(nodes.max(1)), TopologyPreset::PaperTestbed)
     }
 
     /// An N-node fabric whose client-facing hop crosses a WAN (the paper's
     /// "migrate to a commercial cloud" what-if).
     #[must_use]
     pub fn public_cloud(nodes: usize) -> Self {
-        BackendBuilder::new(Shape::Fabric(nodes.max(1)), Topology::public_cloud())
+        BackendBuilder::new(Shape::Fabric(nodes.max(1)), TopologyPreset::PublicCloud)
+    }
+
+    /// A single data server wrapped in WAL + snapshot persistence rooted at
+    /// `path`, on loopback links: the store is created when the directory
+    /// holds none, **recovered** when it does — so restarting a process
+    /// with the same builder line brings policies, live handles and the
+    /// audit trail back (see `docs/RECOVERY.md`).
+    ///
+    /// ```
+    /// use exacml::prelude::*;
+    /// use exacml::exacml_dsms::Schema;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("exacml-doc-durable-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    ///
+    /// {
+    ///     let backend = BackendBuilder::durable(&dir).build();
+    ///     assert_eq!(backend.backend_kind(), "durable-server");
+    ///     backend.register_stream("weather", Schema::weather_example())?;
+    ///     backend.load_policy(
+    ///         StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build(),
+    ///     )?;
+    /// } // ← process "crashes": the backend is dropped with no shutdown
+    ///
+    /// let recovered = BackendBuilder::durable(&dir).build(); // same line = recovery
+    /// assert_eq!(recovered.policy_count(), 1);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), exacml::prelude::ExacmlError>(())
+    /// ```
+    ///
+    /// Note on builder knobs: when the directory already holds a store,
+    /// **recovery uses the configuration persisted in its `meta.json`** —
+    /// the builder's [`with_seed`](BackendBuilder::with_seed),
+    /// [`deploy_on_partial_result`](BackendBuilder::deploy_on_partial_result)
+    /// and [`with_topology`](BackendBuilder::with_topology) settings apply
+    /// only when the store is being *created* (and a custom `with_topology`
+    /// link table is never persisted — the store records the builder's
+    /// named preset). To reopen a store under different knobs, use
+    /// [`DurableServer::recover_with`](exacml_durable::DurableServer::recover_with)
+    /// directly.
+    #[must_use]
+    pub fn durable(path: impl Into<PathBuf>) -> Self {
+        BackendBuilder::new(Shape::Durable(path.into()), TopologyPreset::Local)
     }
 
     /// Override the deployment topology the simulated links are drawn from.
@@ -115,10 +173,23 @@ impl BackendBuilder {
         }
     }
 
-    /// Build the backend.
-    #[must_use]
-    pub fn build(self) -> Arc<dyn Backend> {
-        match self.shape {
+    fn durable_config(&self) -> DurableConfig {
+        DurableConfig {
+            topology: self.preset,
+            deploy_on_partial_result: self.deploy_on_partial_result,
+            seed: self.seed,
+            ..DurableConfig::default()
+        }
+    }
+
+    /// Build the backend, surfacing durability failures (an unreadable or
+    /// inconsistent store) as errors. The in-memory shapes cannot fail.
+    ///
+    /// # Errors
+    /// [`ExacmlError::Durability`] when a durable store cannot be created
+    /// or recovered.
+    pub fn try_build(self) -> Result<Arc<dyn Backend>, ExacmlError> {
+        Ok(match self.shape {
             Shape::Single => Arc::new(DataServer::new(self.server_config())),
             Shape::Fabric(nodes) => {
                 let config = FabricConfig::new(nodes, self.topology.clone())
@@ -126,7 +197,21 @@ impl BackendBuilder {
                     .with_server_template(self.server_config());
                 Arc::new(Fabric::new(config))
             }
-        }
+            Shape::Durable(ref path) => {
+                let config = self.durable_config();
+                Arc::new(DurableServer::open(path, config)?)
+            }
+        })
+    }
+
+    /// Build the backend.
+    ///
+    /// # Panics
+    /// Panics when a durable store cannot be created or recovered (use
+    /// [`BackendBuilder::try_build`] to handle that as an error).
+    #[must_use]
+    pub fn build(self) -> Arc<dyn Backend> {
+        self.try_build().expect("backend store is unusable")
     }
 
     /// Build the backend and open a [`Session`] for `subject` on it in one
@@ -153,6 +238,30 @@ mod tests {
         assert_eq!(BackendBuilder::public_cloud(2).build().backend_kind(), "fabric-2");
         // A zero-node fabric is clamped to one node rather than panicking.
         assert_eq!(BackendBuilder::fabric(0).build().backend_kind(), "fabric-1");
+    }
+
+    #[test]
+    fn durable_shape_builds_creates_and_recovers_a_store() {
+        let dir =
+            std::env::temp_dir().join(format!("exacml-builder-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let backend = BackendBuilder::durable(&dir).build();
+            assert_eq!(backend.backend_kind(), "durable-server");
+            backend.register_stream("weather", Schema::weather_example()).unwrap();
+        }
+        // The same builder line on an existing store recovers it.
+        let recovered = BackendBuilder::durable(&dir).try_build().unwrap();
+        let granted = recovered
+            .load_policy(
+                StreamPolicyBuilder::new("p", "weather")
+                    .subject("LTA")
+                    .filter("rainrate > 5")
+                    .build(),
+            )
+            .and_then(|_| recovered.handle_request(&Request::subscribe("LTA", "weather"), None));
+        assert!(granted.is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

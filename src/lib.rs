@@ -34,8 +34,9 @@
 //! # The backend trait layer
 //!
 //! Every backend — [`DataServer`](exacml_plus::DataServer) for one node,
-//! [`Fabric`](exacml_plus::Fabric) for N nodes behind the routing broker —
-//! implements the object-safe trait stack of
+//! [`Fabric`](exacml_plus::Fabric) for N nodes behind the routing broker,
+//! [`DurableServer`](exacml_durable::DurableServer) for a single node whose
+//! state survives a restart — implements the object-safe trait stack of
 //! [`exacml_plus::backend`]:
 //!
 //! * [`StreamBackend`](exacml_plus::StreamBackend) — register streams, push
@@ -50,14 +51,26 @@
 //!   node-tagged audit trail and deployment observability.
 //!
 //! Scenario code, tests, feeds and benches written against `&dyn Backend`
-//! (or a generic `B: Backend + ?Sized`) run unchanged on one node or N —
-//! `tests/backend_conformance.rs` executes one suite against both shapes,
+//! (or a generic `B: Backend + ?Sized`) run unchanged on any shape —
+//! `tests/backend_conformance.rs` executes one suite against all three,
 //! and `examples/backend_swap.rs` is the same scenario twice with only the
 //! builder line changed.
 //!
-//! [`BackendBuilder`] constructs either shape (`local()`, `server()`,
-//! `fabric(n)`, `paper_testbed(n)`, `public_cloud(n)`); [`Session`] owns a
-//! subject's identity and live grants and releases them RAII-style on drop.
+//! [`BackendBuilder`] constructs every shape (`local()`, `server()`,
+//! `fabric(n)`, `paper_testbed(n)`, `public_cloud(n)`, `durable(path)`);
+//! [`Session`] owns a subject's identity and live grants and releases them
+//! RAII-style on drop.
+//!
+//! # Durability
+//!
+//! [`exacml_durable`] adds the persistence layer: `BackendBuilder::
+//! durable(path)` wraps the data server in a write-ahead log + snapshot
+//! store over plain `std::fs`, and the same builder line *recovers* the
+//! store after a crash — policies, live handles (same URIs), guard state
+//! and the audit trail come back; `examples/durable_restart.rs` shows the
+//! kill/recover cycle. The record format and crash-consistency guarantees
+//! are specified in `docs/RECOVERY.md`; where every layer sits is mapped in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! # Migrating from the `ClientInterface` entry point
 //!
@@ -88,6 +101,9 @@
 //!   translation, NR/PR merge analysis, graph management, proxy, data
 //!   server, the brokering fabric, and the unified backend trait layer
 //!   (package `exacml-plus`, `crates/core`).
+//! * [`exacml_durable`] — the persistence subsystem: WAL, snapshots, and
+//!   the `DurableServer` backend (package `exacml-durable`,
+//!   `crates/durable`).
 //! * [`exacml_dsms`] — the from-scratch stream engine: Aurora-style query
 //!   graphs, operators, sliding windows, StreamSQL (package `exacml-dsms`).
 //! * [`exacml_xacml`] — the XACML policy model, repository, XML round-trip,
@@ -106,6 +122,7 @@
 
 pub use exacml_bench;
 pub use exacml_dsms;
+pub use exacml_durable;
 pub use exacml_expr;
 pub use exacml_plus;
 pub use exacml_simnet;
@@ -121,11 +138,28 @@ pub use session::Session;
 /// Everything a scenario needs, importable in one line.
 ///
 /// Brings in the entry layer ([`BackendBuilder`], [`Session`]), the backend
-/// trait stack and its unified types, the policy/query authoring helpers,
-/// the error type, and the workload feeds.
+/// trait stack and its unified types, the durable backend, the policy/query
+/// authoring helpers, the error type, and the workload feeds:
+///
+/// ```
+/// use exacml::prelude::*;
+/// use exacml::exacml_dsms::Schema;
+///
+/// let backend = BackendBuilder::local().build();
+/// backend.register_stream("weather", Schema::weather_example())?;
+/// backend.load_policy(
+///     StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build(),
+/// )?;
+///
+/// let session = BackendBuilder::local().session("LTA"); // or Session::new(backend, "LTA")
+/// assert_eq!(session.subject(), "LTA");
+/// assert_eq!(backend.policy_count(), 1);
+/// # Ok::<(), exacml::prelude::ExacmlError>(())
+/// ```
 pub mod prelude {
     pub use crate::builder::BackendBuilder;
     pub use crate::session::Session;
+    pub use exacml_durable::{DurableConfig, DurableServer, RecoveryReport, TopologyPreset};
     pub use exacml_plus::{
         AccessControl, AccessResponse, Backend, BackendResponse, DataServer, ExacmlError, Fabric,
         FabricConfig, PolicyAdmin, ServerConfig, StreamBackend, StreamPolicyBuilder, Subscription,

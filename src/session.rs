@@ -71,6 +71,30 @@ impl Session {
     /// (the Section 3.2 workflow). The granted handle is tracked by the
     /// session and released when the session drops.
     ///
+    /// ```
+    /// use exacml::prelude::*;
+    /// use exacml::exacml_dsms::{Schema, Tuple, Value};
+    ///
+    /// let backend = BackendBuilder::local().build();
+    /// backend.register_stream("weather", Schema::weather_example())?;
+    /// backend.load_policy(
+    ///     StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build(),
+    /// )?;
+    ///
+    /// let session = Session::new(backend.clone(), "LTA");
+    /// session.request_access("weather", None)?;
+    /// let mut subscription = session.subscribe("weather")?;
+    ///
+    /// let schema = Schema::weather_example().shared();
+    /// let heavy_rain = Tuple::builder_shared(&schema)
+    ///     .set("samplingtime", Value::Timestamp(0))
+    ///     .set("rainrate", 12.0)
+    ///     .finish_with_defaults();
+    /// backend.push("weather", heavy_rain)?;
+    /// assert_eq!(subscription.drain().len(), 1); // passed the policy filter
+    /// # Ok::<(), exacml::prelude::ExacmlError>(())
+    /// ```
+    ///
     /// # Errors
     /// Propagates denial, conflict and substrate errors from the backend.
     pub fn request_access(

@@ -1,21 +1,37 @@
 //! Backend conformance suite.
 //!
 //! Every test body here is written **once** against `&dyn Backend` and
-//! executed for both deployment shapes — a single in-process `DataServer`
-//! and a 3-node brokering `Fabric` — pinning the promise of the unified
-//! backend API: scenario code cannot tell one node from N. Covered:
-//! register/push/subscribe, policy churn (load / update / remove with
-//! graph withdrawal), release edge cases (unknown and double releases are
-//! no-ops), unified unknown-handle errors, reuse semantics, the
-//! single-access guard, and the node-tagged audit trail.
+//! executed for every deployment shape — a single in-process `DataServer`,
+//! a 3-node brokering `Fabric`, and a disk-backed `DurableServer` — pinning
+//! the promise of the unified backend API: scenario code cannot tell one
+//! node from N, nor memory from disk. Covered: register/push/subscribe,
+//! policy churn (load / update / remove with graph withdrawal), release
+//! edge cases (unknown and double releases are no-ops), unified
+//! unknown-handle errors, reuse semantics, the single-access guard, and
+//! the node-tagged audit trail.
 
 use exacml::exacml_dsms::{Schema, Tuple, Value};
 use exacml::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// The two backend shapes every test runs against.
+static STORE_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh store directory for one durable backend under test.
+fn durable_store_dir() -> std::path::PathBuf {
+    let n = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("exacml-conformance-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The three backend shapes every test runs against.
 fn backends() -> Vec<Arc<dyn Backend>> {
-    vec![BackendBuilder::local().build(), BackendBuilder::fabric(3).build()]
+    vec![
+        BackendBuilder::local().build(),
+        BackendBuilder::fabric(3).build(),
+        BackendBuilder::durable(durable_store_dir()).build(),
+    ]
 }
 
 fn weather_tuple(schema: &Arc<Schema>, i: i64, rain: f64) -> Tuple {
@@ -199,7 +215,7 @@ fn reuse_and_single_access_guard_semantics() {
 fn audit_trail_is_node_tagged_on_every_shape() {
     for backend in backends() {
         let kind = backend.backend_kind();
-        let fabric_nodes = if kind == "data-server" { 1 } else { 3 };
+        let fabric_nodes = if kind.starts_with("fabric") { 3 } else { 1 };
         backend.register_stream("weather", Schema::weather_example()).unwrap();
         backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
 
@@ -224,7 +240,9 @@ fn audit_trail_is_node_tagged_on_every_shape() {
         // Every event is tagged with a node of the right shape.
         for tagged in &events {
             match tagged.node {
-                NodeId::DataServer => assert_eq!(kind, "data-server"),
+                NodeId::DataServer => {
+                    assert!(kind == "data-server" || kind == "durable-server", "{kind}");
+                }
                 NodeId::Server(i) => {
                     assert!(kind.starts_with("fabric"), "{kind}");
                     assert!((i as usize) < fabric_nodes, "{kind}");

@@ -29,6 +29,19 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serialize an already-built [`Content`] tree as compact JSON, without
+/// requiring a `Serialize` wrapper (used by hand-assembled documents such as
+/// `exacml-durable`'s WAL records, whose framing adds fields — a sequence
+/// number — that no single Rust value carries).
+///
+/// # Errors
+/// Fails if the tree contains a NaN or infinite float.
+pub fn content_to_string(content: &Content) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, content, None, 0)?;
+    Ok(out)
+}
+
 /// Serialize `value` as pretty-printed JSON with two-space indentation.
 ///
 /// # Errors
