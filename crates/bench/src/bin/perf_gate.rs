@@ -117,13 +117,27 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
     {
         metrics.push(("ingest_durable_vs_direct".to_string(), value));
     }
+    // The shared-plan scaling ratios (PR 6), present when the report is a
+    // `merge_scale` one — the gate runs once per report pair and each
+    // extractor only finds its own keys. `merged_retention_at_100` is also
+    // held to the absolute 1/3 floor below (the "100 overlapping
+    // subscribers cost ≤ 3× one subscriber" acceptance pin).
+    for key in ["merged_retention_at_100", "merged_vs_unmerged_at_100"] {
+        if let Some(value) = report.get(key).and_then(Value::as_f64) {
+            metrics.push((key.to_string(), value));
+        }
+    }
     metrics
 }
 
 /// Absolute floors: ratios that must hold on *every* machine, not merely
 /// stay close to the committed baseline. WAL-on ingest must keep at least
-/// half of direct ingest throughput (the "≤ 2× durability overhead" pin).
-const ABSOLUTE_FLOORS: [(&str, f64); 1] = [("ingest_durable_vs_direct", 0.5)];
+/// half of direct ingest throughput (the "≤ 2× durability overhead" pin),
+/// and a merged plan serving 100 overlapping subscribers must keep at
+/// least a third of single-subscriber throughput (the "≤ 3× per-tuple
+/// cost at 100 subscribers" pin from the plan-sharing PR).
+const ABSOLUTE_FLOORS: [(&str, f64); 2] =
+    [("ingest_durable_vs_direct", 0.5), ("merged_retention_at_100", 1.0 / 3.0)];
 
 fn main() -> ExitCode {
     let options = parse_args();

@@ -12,6 +12,7 @@
 //! run without spurious failures.
 
 use crate::error::ExacmlError;
+use crate::shared_plan::PlanId;
 use exacml_dsms::{DeploymentId, StreamHandle};
 use std::collections::HashMap;
 
@@ -28,7 +29,22 @@ pub enum GuardOutcome {
         handle: StreamHandle,
         /// The deployment behind it.
         deployment: DeploymentId,
+        /// The shared plan the grant rides on.
+        plan: PlanId,
     },
+}
+
+/// What was backing an access released from the guard: the caller retires
+/// the per-grant handle and drops one plan reference (withdrawing the
+/// deployment only when it was the last grant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleasedAccess {
+    /// The per-grant handle the consumer held.
+    pub handle: StreamHandle,
+    /// The shared deployment behind it.
+    pub deployment: DeploymentId,
+    /// The shared plan the grant rode on.
+    pub plan: PlanId,
 }
 
 /// One live access entry.
@@ -37,6 +53,7 @@ struct ActiveAccess {
     fingerprint: String,
     handle: StreamHandle,
     deployment: DeploymentId,
+    plan: PlanId,
 }
 
 /// Tracks which (subject, stream) pairs currently hold a live query.
@@ -73,6 +90,7 @@ impl AccessGuard {
             Some(existing) if existing.fingerprint == fingerprint => Ok(GuardOutcome::Reuse {
                 handle: existing.handle.clone(),
                 deployment: existing.deployment,
+                plan: existing.plan,
             }),
             Some(_) => Err(ExacmlError::MultipleAccess {
                 subject: subject.to_string(),
@@ -89,27 +107,25 @@ impl AccessGuard {
         fingerprint: impl Into<String>,
         handle: StreamHandle,
         deployment: DeploymentId,
+        plan: PlanId,
     ) {
         self.active.insert(
             Self::key(subject, stream),
-            ActiveAccess { fingerprint: fingerprint.into(), handle, deployment },
+            ActiveAccess { fingerprint: fingerprint.into(), handle, deployment, plan },
         );
     }
 
     /// Release the access a subject holds on a stream (e.g. when the client
-    /// disconnects or the policy is withdrawn). Returns the deployment that
-    /// was backing it, if any.
-    pub fn release(&mut self, subject: &str, stream: &str) -> Option<DeploymentId> {
-        self.active.remove(&Self::key(subject, stream)).map(|a| a.deployment)
-    }
-
-    /// Release every access backed by one of the given deployments (used
-    /// when a policy removal withdraws its query graphs). Returns how many
-    /// accesses were released.
-    pub fn release_deployments(&mut self, deployments: &[DeploymentId]) -> usize {
-        let before = self.active.len();
-        self.active.retain(|_, access| !deployments.contains(&access.deployment));
-        before - self.active.len()
+    /// disconnects or the policy is withdrawn). Returns what was backing it,
+    /// if anything. Deliberately per-(subject, stream), never per
+    /// deployment: under plan sharing one deployment backs many grants, and
+    /// releasing by deployment would evict innocent co-sharers.
+    pub fn release(&mut self, subject: &str, stream: &str) -> Option<ReleasedAccess> {
+        self.active.remove(&Self::key(subject, stream)).map(|a| ReleasedAccess {
+            handle: a.handle,
+            deployment: a.deployment,
+            plan: a.plan,
+        })
     }
 
     /// Number of live accesses.
@@ -137,7 +153,7 @@ mod tests {
     fn first_access_is_allowed_and_then_tracked() {
         let mut guard = AccessGuard::new();
         assert_eq!(guard.check("LTA", "weather", "q1").unwrap(), GuardOutcome::Allowed);
-        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1), PlanId(1));
         assert!(guard.is_active("LTA", "weather"));
         assert_eq!(guard.active_count(), 1);
     }
@@ -145,11 +161,12 @@ mod tests {
     #[test]
     fn same_query_again_reuses_the_existing_handle() {
         let mut guard = AccessGuard::new();
-        guard.register("LTA", "weather", "q1", handle(7), DeploymentId(7));
+        guard.register("LTA", "weather", "q1", handle(7), DeploymentId(7), PlanId(2));
         match guard.check("LTA", "weather", "q1").unwrap() {
-            GuardOutcome::Reuse { handle: h, deployment } => {
+            GuardOutcome::Reuse { handle: h, deployment, plan } => {
                 assert_eq!(h, handle(7));
                 assert_eq!(deployment, DeploymentId(7));
+                assert_eq!(plan, PlanId(2));
             }
             other => panic!("expected Reuse, got {other:?}"),
         }
@@ -158,7 +175,7 @@ mod tests {
     #[test]
     fn different_query_on_same_stream_is_rejected() {
         let mut guard = AccessGuard::new();
-        guard.register("LTA", "weather", "window-size-3", handle(1), DeploymentId(1));
+        guard.register("LTA", "weather", "window-size-3", handle(1), DeploymentId(1), PlanId(0));
         // Example 2: the second, differently-sized window must be refused.
         let err = guard.check("LTA", "weather", "window-size-4").unwrap_err();
         assert!(matches!(err, ExacmlError::MultipleAccess { .. }));
@@ -167,7 +184,7 @@ mod tests {
     #[test]
     fn different_subject_or_stream_is_independent() {
         let mut guard = AccessGuard::new();
-        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1), PlanId(0));
         assert_eq!(guard.check("EMA", "weather", "q2").unwrap(), GuardOutcome::Allowed);
         assert_eq!(guard.check("LTA", "gps", "q2").unwrap(), GuardOutcome::Allowed);
     }
@@ -175,28 +192,36 @@ mod tests {
     #[test]
     fn keys_are_case_insensitive() {
         let mut guard = AccessGuard::new();
-        guard.register("LTA", "Weather", "q1", handle(1), DeploymentId(1));
+        guard.register("LTA", "Weather", "q1", handle(1), DeploymentId(1), PlanId(0));
         assert!(guard.is_active("lta", "weather"));
         assert!(guard.check("lta", "WEATHER", "q2").is_err());
     }
 
     #[test]
-    fn release_frees_the_slot() {
+    fn release_frees_the_slot_and_reports_what_backed_it() {
         let mut guard = AccessGuard::new();
-        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
-        assert_eq!(guard.release("LTA", "weather"), Some(DeploymentId(1)));
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1), PlanId(9));
+        assert_eq!(
+            guard.release("LTA", "weather"),
+            Some(ReleasedAccess {
+                handle: handle(1),
+                deployment: DeploymentId(1),
+                plan: PlanId(9)
+            })
+        );
         assert_eq!(guard.release("LTA", "weather"), None);
         assert_eq!(guard.check("LTA", "weather", "q2").unwrap(), GuardOutcome::Allowed);
     }
 
     #[test]
-    fn release_by_deployment_handles_policy_withdrawal() {
+    fn sharing_grants_release_independently() {
+        // Two subjects riding on one shared deployment: releasing one must
+        // not evict the other (release is keyed per (subject, stream), never
+        // per deployment).
         let mut guard = AccessGuard::new();
-        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1));
-        guard.register("EMA", "weather", "q2", handle(2), DeploymentId(2));
-        guard.register("NEA", "gps", "q3", handle(3), DeploymentId(3));
-        let released = guard.release_deployments(&[DeploymentId(1), DeploymentId(3)]);
-        assert_eq!(released, 2);
+        guard.register("LTA", "weather", "q1", handle(1), DeploymentId(1), PlanId(0));
+        guard.register("EMA", "weather", "q2", handle(2), DeploymentId(1), PlanId(0));
+        assert_eq!(guard.release("LTA", "weather").unwrap().deployment, DeploymentId(1));
         assert!(!guard.is_active("LTA", "weather"));
         assert!(guard.is_active("EMA", "weather"));
     }

@@ -236,6 +236,13 @@ pub trait Backend: StreamBackend + AccessControl + PolicyAdmin {
     /// Number of live deployments across the whole backend.
     fn live_deployments(&self) -> usize;
 
+    /// Number of live shared operator plans across the whole backend —
+    /// the distinct compiled subgraphs actually executing. With plan
+    /// sharing enabled (the default), N overlapping grants on one stream
+    /// count one plan here while [`Backend::live_deployments`] stays at
+    /// one too; with sharing disabled both counters grow per grant.
+    fn live_plans(&self) -> usize;
+
     /// The audit trail, each event tagged with the node that recorded it.
     /// On a fabric the node-local logs are aggregated and interleaved by
     /// wall-clock timestamp.
@@ -352,6 +359,10 @@ impl Backend for DataServer {
         DataServer::live_deployments(self)
     }
 
+    fn live_plans(&self) -> usize {
+        DataServer::plan_count(self)
+    }
+
     fn audit_events(&self) -> Vec<TaggedAuditEvent> {
         DataServer::audit_events(self)
             .into_iter()
@@ -434,6 +445,10 @@ impl Backend for Fabric {
 
     fn live_deployments(&self) -> usize {
         Fabric::live_deployments(self)
+    }
+
+    fn live_plans(&self) -> usize {
+        Fabric::live_plans(self)
     }
 
     fn audit_events(&self) -> Vec<TaggedAuditEvent> {

@@ -643,6 +643,16 @@ impl Fabric {
         self.nodes.iter().map(|n| n.server.live_deployments()).sum()
     }
 
+    /// Number of live shared plans across all nodes. Plan identity is the
+    /// merged graph's canonical signature, so on each node every distinct
+    /// plan executes once no matter how many grants ride on it; across nodes
+    /// the same signature may appear once per node that owns a stream it
+    /// applies to.
+    #[must_use]
+    pub fn live_plans(&self) -> usize {
+        self.nodes.iter().map(|n| n.server.plan_count()).sum()
+    }
+
     /// Number of handle → node routing entries currently tracked. Dead
     /// entries are pruned on release and on policy withdrawal, so this
     /// tracks the live-handle population rather than growing with churn.

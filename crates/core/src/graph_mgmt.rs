@@ -7,35 +7,41 @@
 //! or modified by the user, all query graphs that are spawned by the policy
 //! are immediately withdrawn from back-end data stream engines."
 //!
-//! [`QueryGraphManager`] is that bookkeeping: every deployment is recorded
-//! against the policy that authorised it (plus the requesting subject and the
-//! stream), so policy-change events can name exactly the deployments to
-//! withdraw.
+//! [`QueryGraphManager`] is that bookkeeping, one entry per **grant**. Under
+//! plan sharing a deployment can back many grants (and, across policies with
+//! identical cores, grants of *different* policies), so entries are keyed by
+//! the grant's (subject, stream) pair — the same key the single-access guard
+//! uses — not by deployment id. Policy-change events evict exactly the
+//! grants the policy authorised; the caller then retires each grant's handle
+//! and withdraws a shared deployment only when its last grant is gone.
 
+use crate::shared_plan::PlanId;
 use exacml_dsms::{DeploymentId, QueryGraph, StreamHandle};
 use std::collections::HashMap;
 
-/// One tracked deployment.
+/// One tracked grant.
 #[derive(Debug, Clone)]
 pub struct TrackedGraph {
-    /// The deployment the DSMS assigned.
+    /// The (possibly shared) deployment the DSMS assigned.
     pub deployment: DeploymentId,
-    /// The handle handed to the client.
+    /// The shared plan the grant rides on.
+    pub plan: PlanId,
+    /// The per-grant handle handed to the client.
     pub handle: StreamHandle,
-    /// The policy that authorised the deployment.
+    /// The policy that authorised the grant.
     pub policy_id: String,
-    /// The subject the deployment serves.
+    /// The subject the grant serves.
     pub subject: String,
     /// The source stream.
     pub stream: String,
-    /// The merged query graph that was deployed.
+    /// The merged query graph the grant delivers (core + residual combined).
     pub graph: QueryGraph,
 }
 
-/// Bookkeeping of live deployments, indexed by policy.
+/// Bookkeeping of live grants, indexed by policy.
 #[derive(Debug, Default)]
 pub struct QueryGraphManager {
-    by_deployment: HashMap<DeploymentId, TrackedGraph>,
+    by_grant: HashMap<(String, String), TrackedGraph>,
 }
 
 impl QueryGraphManager {
@@ -45,55 +51,70 @@ impl QueryGraphManager {
         QueryGraphManager::default()
     }
 
-    /// Record a deployment.
+    fn key(subject: &str, stream: &str) -> (String, String) {
+        (subject.to_ascii_lowercase(), stream.to_ascii_lowercase())
+    }
+
+    /// Record a grant.
     pub fn track(&mut self, entry: TrackedGraph) {
-        self.by_deployment.insert(entry.deployment, entry);
+        self.by_grant.insert(Self::key(&entry.subject, &entry.stream), entry);
     }
 
-    /// Forget a single deployment (e.g. the client released it).
-    pub fn untrack(&mut self, deployment: DeploymentId) -> Option<TrackedGraph> {
-        self.by_deployment.remove(&deployment)
+    /// Forget a single grant (e.g. the client released it).
+    pub fn untrack(&mut self, subject: &str, stream: &str) -> Option<TrackedGraph> {
+        self.by_grant.remove(&Self::key(subject, stream))
     }
 
-    /// All deployments spawned by one policy.
+    /// The deployments backing grants of one policy (sorted, deduplicated —
+    /// shared deployments appear once).
     #[must_use]
     pub fn deployments_of_policy(&self, policy_id: &str) -> Vec<DeploymentId> {
         let mut ids: Vec<DeploymentId> = self
-            .by_deployment
+            .by_grant
             .values()
             .filter(|t| t.policy_id == policy_id)
             .map(|t| t.deployment)
             .collect();
         ids.sort();
+        ids.dedup();
         ids
     }
 
-    /// Remove every deployment spawned by one policy from the bookkeeping,
-    /// returning the removed entries (the caller withdraws them from the
-    /// engine and releases the access-guard slots).
+    /// Remove every grant spawned by one policy from the bookkeeping,
+    /// returning the removed entries (the caller retires their handles,
+    /// releases the access-guard slots and withdraws deployments whose last
+    /// grant is gone).
     pub fn evict_policy(&mut self, policy_id: &str) -> Vec<TrackedGraph> {
-        let ids = self.deployments_of_policy(policy_id);
-        ids.iter().filter_map(|id| self.by_deployment.remove(id)).collect()
+        let keys: Vec<(String, String)> = self
+            .by_grant
+            .iter()
+            .filter(|(_, t)| t.policy_id == policy_id)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut evicted: Vec<TrackedGraph> =
+            keys.iter().filter_map(|k| self.by_grant.remove(k)).collect();
+        evicted.sort_by(|a, b| (a.deployment, &a.subject).cmp(&(b.deployment, &b.subject)));
+        evicted
     }
 
     /// The entry behind a handle, if tracked.
     #[must_use]
     pub fn find_by_handle(&self, handle: &StreamHandle) -> Option<&TrackedGraph> {
-        self.by_deployment.values().find(|t| &t.handle == handle)
+        self.by_grant.values().find(|t| &t.handle == handle)
     }
 
-    /// Number of live tracked deployments.
+    /// Number of live tracked grants.
     #[must_use]
     pub fn live_count(&self) -> usize {
-        self.by_deployment.len()
+        self.by_grant.len()
     }
 
-    /// Number of live deployments per policy (sorted by policy id), useful
-    /// for observability and tests.
+    /// Number of live grants per policy (sorted by policy id), useful for
+    /// observability and tests.
     #[must_use]
     pub fn per_policy_counts(&self) -> Vec<(String, usize)> {
         let mut counts: HashMap<String, usize> = HashMap::new();
-        for t in self.by_deployment.values() {
+        for t in self.by_grant.values() {
             *counts.entry(t.policy_id.clone()).or_default() += 1;
         }
         let mut out: Vec<(String, usize)> = counts.into_iter().collect();
@@ -109,7 +130,8 @@ mod tests {
     fn entry(dep: u64, policy: &str, subject: &str) -> TrackedGraph {
         TrackedGraph {
             deployment: DeploymentId(dep),
-            handle: StreamHandle::mint("dsms", dep),
+            plan: PlanId(dep),
+            handle: StreamHandle::mint("dsms", 100 + dep),
             policy_id: policy.to_string(),
             subject: subject.to_string(),
             stream: "weather".to_string(),
@@ -122,21 +144,33 @@ mod tests {
         let mut mgr = QueryGraphManager::new();
         mgr.track(entry(1, "p1", "LTA"));
         mgr.track(entry(2, "p1", "EMA"));
-        mgr.track(entry(3, "p2", "LTA"));
+        mgr.track(entry(3, "p2", "NEA"));
         assert_eq!(mgr.live_count(), 3);
         assert_eq!(mgr.deployments_of_policy("p1"), vec![DeploymentId(1), DeploymentId(2)]);
         assert_eq!(mgr.deployments_of_policy("p3"), vec![]);
-        let handle = StreamHandle::mint("dsms", 3);
+        let handle = StreamHandle::mint("dsms", 103);
         assert_eq!(mgr.find_by_handle(&handle).unwrap().policy_id, "p2");
         assert_eq!(mgr.per_policy_counts(), vec![("p1".to_string(), 2), ("p2".to_string(), 1)]);
     }
 
     #[test]
-    fn evicting_a_policy_removes_only_its_graphs() {
+    fn shared_deployments_are_tracked_per_grant() {
+        // Two subjects on one shared deployment: two grants, one deployment.
+        let mut mgr = QueryGraphManager::new();
+        mgr.track(TrackedGraph { subject: "EMA".into(), ..entry(7, "p1", "EMA") });
+        mgr.track(TrackedGraph { subject: "LTA".into(), ..entry(7, "p1", "LTA") });
+        assert_eq!(mgr.live_count(), 2);
+        assert_eq!(mgr.deployments_of_policy("p1"), vec![DeploymentId(7)]);
+        let evicted = mgr.evict_policy("p1");
+        assert_eq!(evicted.len(), 2);
+    }
+
+    #[test]
+    fn evicting_a_policy_removes_only_its_grants() {
         let mut mgr = QueryGraphManager::new();
         mgr.track(entry(1, "p1", "LTA"));
         mgr.track(entry(2, "p1", "EMA"));
-        mgr.track(entry(3, "p2", "LTA"));
+        mgr.track(entry(3, "p2", "NEA"));
         let evicted = mgr.evict_policy("p1");
         assert_eq!(evicted.len(), 2);
         assert_eq!(mgr.live_count(), 1);
@@ -145,11 +179,11 @@ mod tests {
     }
 
     #[test]
-    fn untrack_single_deployment() {
+    fn untrack_single_grant_is_keyed_case_insensitively() {
         let mut mgr = QueryGraphManager::new();
         mgr.track(entry(1, "p1", "LTA"));
-        assert!(mgr.untrack(DeploymentId(1)).is_some());
-        assert!(mgr.untrack(DeploymentId(1)).is_none());
+        assert!(mgr.untrack("lta", "WEATHER").is_some());
+        assert!(mgr.untrack("LTA", "weather").is_none());
         assert_eq!(mgr.live_count(), 0);
     }
 }

@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod obligations;
 pub mod proxy;
 pub mod server;
+pub mod shared_plan;
 pub mod user_query;
 pub mod warnings;
 
@@ -72,6 +73,7 @@ pub use metrics::{RequestTiming, TimingBreakdown};
 pub use obligations::{graph_from_obligations, obligations_from_graph, StreamPolicyBuilder};
 pub use proxy::{Proxy, ProxyStats};
 pub use server::{AccessResponse, DataServer, ServerConfig};
+pub use shared_plan::{PlanCache, PlanId};
 pub use user_query::{UserAggregation, UserQuery};
 pub use warnings::{Warning, WarningKind, WarningSource};
 
@@ -95,6 +97,7 @@ pub mod prelude {
     };
     pub use crate::proxy::{Proxy, ProxyStats};
     pub use crate::server::{AccessResponse, DataServer, ServerConfig};
+    pub use crate::shared_plan::{PlanCache, PlanId};
     pub use crate::user_query::{UserAggregation, UserQuery};
     pub use crate::warnings::{Warning, WarningKind, WarningSource};
 }

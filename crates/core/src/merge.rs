@@ -151,8 +151,14 @@ pub fn merge_graphs(
                 Some(MapOp::new(attrs))
             }
         }
-        (Some(m1), None) => Some(m1.clone()),
-        (None, Some(m2)) => Some(m2.clone()),
+        // Single-sided merges are option-independent: `map_union` widens only
+        // the two-sided union above. Reading an absent map as "all attributes
+        // visible" and taking the literal union would be wrong on either
+        // side — with no *user* map it would widen the projection past the
+        // policy-visible schema, and with no *policy* map it would erase the
+        // user's own projection. The surviving side's projection is the
+        // merged projection, exactly.
+        (Some(m), None) | (None, Some(m)) => Some(m.clone()),
         (None, None) => None,
     };
     if let Some(m) = merged_map {
@@ -347,6 +353,32 @@ mod tests {
         // Both produce the same PR warning (sets differ but intersect).
         assert_eq!(safe.warnings[0].kind, WarningKind::PartialResult);
         assert_eq!(union.warnings[0].kind, WarningKind::PartialResult);
+    }
+
+    #[test]
+    fn map_union_never_widens_single_sided_merges() {
+        // Regression pin: with `map_union` on, a merge where only ONE side
+        // carries a map must keep exactly that side's projection. A literal
+        // `S1 ∪ S2` reading with the absent side as "everything visible"
+        // would expose attributes the policy hides (policy-map side) or
+        // un-project the user's query (user-map side).
+        let options = MergeOptions { map_union: true, ..MergeOptions::default() };
+        let policy_mapped = QueryGraphBuilder::on_stream("s").map(["a", "b"]).build();
+        let user_plain = QueryGraphBuilder::on_stream("s").filter_str("a > 1").unwrap().build();
+        let outcome = merge_graphs(&policy_mapped, &user_plain, options).unwrap();
+        assert_eq!(
+            outcome.graph.map().unwrap().attributes(),
+            &["a".to_string(), "b".to_string()],
+            "user side without a map must not widen past the policy projection"
+        );
+        let policy_plain = QueryGraphBuilder::on_stream("s").filter_str("b > 2").unwrap().build();
+        let user_mapped = QueryGraphBuilder::on_stream("s").map(["b"]).build();
+        let outcome = merge_graphs(&policy_plain, &user_mapped, options).unwrap();
+        assert_eq!(
+            outcome.graph.map().unwrap().attributes(),
+            &["b".to_string()],
+            "policy side without a map must not erase the user projection"
+        );
     }
 
     #[test]

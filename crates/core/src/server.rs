@@ -21,9 +21,12 @@ use crate::graph_mgmt::{QueryGraphManager, TrackedGraph};
 use crate::merge::{merge_graphs, MergeOptions};
 use crate::metrics::RequestTiming;
 use crate::obligations::graph_from_obligations;
+use crate::shared_plan::{PlanCache, PlanId};
 use crate::user_query::UserQuery;
 use crate::warnings::{has_empty_result, has_partial_result, Warning};
-use exacml_dsms::{streamsql, DeploymentId, QueryGraph, Schema, StreamEngine, StreamHandle, Tuple};
+use exacml_dsms::{
+    streamsql, DeploymentId, QueryGraph, ResidualSpec, Schema, StreamEngine, StreamHandle, Tuple,
+};
 use exacml_simnet::{NodeId, Topology};
 use exacml_xacml::{Decision, Pdp, Policy, PolicyStore, Request};
 use parking_lot::Mutex;
@@ -48,6 +51,12 @@ pub struct ServerConfig {
     /// Host name used in the stream handles (URIs) this server's DSMS mints.
     /// Fabric nodes get distinct hosts so handles stay globally unique.
     pub dsms_host: String,
+    /// Share compiled operator subgraphs across overlapping grants (default
+    /// `true`): grants whose core graphs canonicalize identically ride one
+    /// deployment, each paying only a per-grant residual at fan-out. Turning
+    /// this off deploys one graph per grant — the unmerged baseline the
+    /// `merge_scale` benchmark compares against.
+    pub share_plans: bool,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +67,7 @@ impl Default for ServerConfig {
             topology: Topology::paper_testbed(),
             seed: 42,
             dsms_host: "dsms".to_string(),
+            share_plans: true,
         }
     }
 }
@@ -78,8 +88,12 @@ pub struct AccessResponse {
     pub handle: StreamHandle,
     /// Schema of the derived output stream.
     pub output_schema: Arc<Schema>,
-    /// The deployment backing the handle.
+    /// The deployment backing the handle (shared with other grants of the
+    /// same plan).
     pub deployment: DeploymentId,
+    /// The shared plan the grant rides on: grants with equal plan ids share
+    /// one compiled operator subgraph on the DSMS.
+    pub plan: PlanId,
     /// The policy that authorised the access.
     pub policy_id: String,
     /// Non-blocking warnings raised while merging (partial results when the
@@ -105,6 +119,7 @@ pub struct DataServer {
     /// request workflow.
     engine: Arc<StreamEngine>,
     graphs: Mutex<QueryGraphManager>,
+    plans: Mutex<PlanCache>,
     guard: Mutex<AccessGuard>,
     rng: Mutex<StdRng>,
     policy_load_times: Mutex<Vec<Duration>>,
@@ -125,6 +140,7 @@ impl DataServer {
             pdp,
             engine,
             graphs: Mutex::new(QueryGraphManager::new()),
+            plans: Mutex::new(PlanCache::new()),
             guard: Mutex::new(AccessGuard::new()),
             rng: Mutex::new(rng),
             policy_load_times: Mutex::new(Vec::new()),
@@ -292,8 +308,8 @@ impl DataServer {
         self.load_policy(policy)
     }
 
-    /// Remove a policy; every query graph it spawned is withdrawn from the
-    /// DSMS immediately. Returns the number of withdrawn deployments.
+    /// Remove a policy; every grant it spawned is withdrawn from the DSMS
+    /// immediately. Returns the number of withdrawn grants.
     ///
     /// # Errors
     /// Fails when the policy is unknown.
@@ -310,9 +326,9 @@ impl DataServer {
         Ok(withdrawn)
     }
 
-    /// Replace a policy; as with removal, existing query graphs spawned by
-    /// the old version are withdrawn (consumers must re-request access).
-    /// Returns the number of withdrawn deployments.
+    /// Replace a policy; as with removal, existing grants spawned by the old
+    /// version are withdrawn (consumers must re-request access). Returns the
+    /// number of withdrawn grants.
     ///
     /// # Errors
     /// Fails when the policy is unknown or the new version invalid.
@@ -332,14 +348,37 @@ impl DataServer {
 
     fn withdraw_policy_graphs(&self, policy_id: &str) -> usize {
         let evicted = self.graphs.lock().evict_policy(policy_id);
-        let ids: Vec<DeploymentId> = evicted.iter().map(|t| t.deployment).collect();
-        for id in &ids {
-            // Races with explicit releases are benign: the graph may
-            // already be gone.
-            let _ = self.engine.withdraw(*id);
+        {
+            // Per-grant eviction, not per-deployment: under cross-policy
+            // sharing a deployment may also serve grants of *other* policies,
+            // which must survive this withdrawal untouched.
+            let mut guard = self.guard.lock();
+            for grant in &evicted {
+                guard.release(&grant.subject, &grant.stream);
+            }
         }
-        self.guard.lock().release_deployments(&ids);
-        ids.len()
+        for grant in &evicted {
+            self.release_grant(&grant.handle, grant.plan);
+        }
+        evicted.len()
+    }
+
+    /// Retire one grant's handle and drop its plan reference, withdrawing
+    /// the shared deployment when this was the last grant. Races with other
+    /// release paths are benign: the engine calls are idempotent no-ops on
+    /// already-gone handles/deployments.
+    fn release_grant(&self, handle: &StreamHandle, plan: PlanId) {
+        let _ = self.engine.retire_handle(handle);
+        let withdraw = {
+            let mut plans = self.plans.lock();
+            match plans.release(plan) {
+                Some((deployment, true)) => Some(deployment),
+                _ => None,
+            }
+        };
+        if let Some(deployment) = withdraw {
+            let _ = self.engine.withdraw(deployment);
+        }
     }
 
     /// Number of loaded policies.
@@ -377,7 +416,7 @@ impl DataServer {
         request: &Request,
         user_query: Option<&UserQuery>,
     ) -> Result<AccessResponse, ExacmlError> {
-        let result = self.handle_request_unaudited(request, user_query);
+        let result = self.handle_request_inner(request, user_query, None);
         let subject = request.subject_id();
         let stream = request.resource_id();
         let mut audit = self.audit.lock();
@@ -421,10 +460,32 @@ impl DataServer {
         result
     }
 
-    fn handle_request_unaudited(
+    /// Recovery hook: re-run a granted request through the normal workflow,
+    /// pinning the per-grant handle to the exact URI the consumer held
+    /// before the crash. A durable wrapper journals each grant's handle URI;
+    /// replaying through minting arithmetic cannot reproduce pre-crash
+    /// serials once released grants have been pruned from the journal, so
+    /// the recorded URI is adopted verbatim instead. Unaudited — recovery
+    /// restores the journaled audit trail afterwards via
+    /// [`DataServer::restore_audit`].
+    ///
+    /// # Errors
+    /// As [`DataServer::handle_request`], plus when the pinned URI is
+    /// already live.
+    pub fn restore_grant(
         &self,
         request: &Request,
         user_query: Option<&UserQuery>,
+        handle: &StreamHandle,
+    ) -> Result<AccessResponse, ExacmlError> {
+        self.handle_request_inner(request, user_query, Some(handle))
+    }
+
+    fn handle_request_inner(
+        &self,
+        request: &Request,
+        user_query: Option<&UserQuery>,
+        restore: Option<&StreamHandle>,
     ) -> Result<AccessResponse, ExacmlError> {
         let started = Instant::now();
         let mut network = Duration::ZERO;
@@ -458,7 +519,7 @@ impl DataServer {
         );
         match self.guard.lock().check(&subject, &stream, &fingerprint)? {
             GuardOutcome::Allowed => {}
-            GuardOutcome::Reuse { handle, deployment } => {
+            GuardOutcome::Reuse { handle, deployment, plan } => {
                 // Identical re-request: hand back the existing live handle.
                 let output_schema = self.engine.output_schema(&handle)?;
                 let total = started.elapsed();
@@ -466,6 +527,7 @@ impl DataServer {
                     handle,
                     output_schema,
                     deployment,
+                    plan,
                     policy_id,
                     warnings: Vec::new(),
                     streamsql: String::new(),
@@ -506,7 +568,8 @@ impl DataServer {
         let script = streamsql::generate(&outcome.graph, &input_schema);
         let query_graph_time = graph_started.elapsed();
 
-        // Step 5: ship the StreamSQL to the DSMS and deploy.
+        // Step 5: ship the StreamSQL to the DSMS and deploy — through the
+        // plan cache, so overlapping grants share one compiled subgraph.
         network += {
             let mut rng = self.rng.lock();
             self.config.topology.round_trip(
@@ -518,12 +581,15 @@ impl DataServer {
             )
         };
         let dsms_started = Instant::now();
-        let deployment = self.engine.deploy(&outcome.graph)?;
+        let (plan, deployment, handle) =
+            self.deploy_grant(&policy_graph, &user_graph, &outcome.graph, &input_schema, restore)?;
+        let output_schema = self.engine.output_schema(&handle)?;
         let dsms_time = dsms_started.elapsed();
 
         self.graphs.lock().track(TrackedGraph {
-            deployment: deployment.id,
-            handle: deployment.output_handle.clone(),
+            deployment,
+            plan,
+            handle: handle.clone(),
             policy_id: policy_id.clone(),
             subject: subject.clone(),
             stream: stream.clone(),
@@ -533,15 +599,17 @@ impl DataServer {
             &subject,
             &stream,
             fingerprint,
-            deployment.output_handle.clone(),
-            deployment.id,
+            handle.clone(),
+            deployment,
+            plan,
         );
 
         let total = started.elapsed() + network;
         Ok(AccessResponse {
-            handle: deployment.output_handle,
-            output_schema: deployment.output_schema,
-            deployment: deployment.id,
+            handle,
+            output_schema,
+            deployment,
+            plan,
             policy_id,
             warnings: outcome.warnings,
             streamsql: script,
@@ -556,20 +624,74 @@ impl DataServer {
         })
     }
 
-    /// Release the access a subject holds on a stream, withdrawing the
-    /// backing deployment. Returns `true` when something was released.
+    /// Deploy one grant through the plan cache: decide the core graph and
+    /// per-grant residual, reuse a cached deployment of the same core when
+    /// plan sharing is on (deploying otherwise), and attach the per-grant
+    /// handle. Every grant — shared or not — gets its own attached handle,
+    /// so release, liveness and recovery follow one scheme.
+    fn deploy_grant(
+        &self,
+        policy_graph: &QueryGraph,
+        user_graph: &QueryGraph,
+        merged: &QueryGraph,
+        input_schema: &Schema,
+        restore: Option<&StreamHandle>,
+    ) -> Result<(PlanId, DeploymentId, StreamHandle), ExacmlError> {
+        let (core, residual) = if self.config.share_plans {
+            plan_core(policy_graph, user_graph, merged, input_schema)
+        } else {
+            (merged.clone(), None)
+        };
+        // The cache lock is held across the deploy: concurrent identical
+        // grants serialize here instead of racing into double deployments.
+        let mut plans = self.plans.lock();
+        let (plan, deployment) = if self.config.share_plans {
+            let key = core.canonical_signature();
+            match plans.acquire(&key) {
+                Some(hit) => hit,
+                None => {
+                    let deployment = self.engine.deploy(&core)?;
+                    (plans.insert(key, deployment.id), deployment.id)
+                }
+            }
+        } else {
+            // Unshared mode: every grant gets a private plan under a key no
+            // canonical signature can collide with.
+            let deployment = self.engine.deploy(&core)?;
+            (plans.insert(format!("#unshared/{}", deployment.id), deployment.id), deployment.id)
+        };
+        let attached = match restore {
+            Some(uri) => self.engine.attach_handle_as(deployment, residual.as_ref(), uri.clone()),
+            None => self.engine.attach_handle(deployment, residual.as_ref()),
+        };
+        match attached {
+            Ok(handle) => Ok((plan, deployment, handle)),
+            Err(err) => {
+                // Roll the refcount back; withdraw the deployment if this
+                // grant was the only (or first) rider.
+                if let Some((id, true)) = plans.release(plan) {
+                    let _ = self.engine.withdraw(id);
+                }
+                Err(err.into())
+            }
+        }
+    }
+
+    /// Release the access a subject holds on a stream: the per-grant handle
+    /// is retired immediately; the backing deployment is withdrawn only when
+    /// this was its last grant. Returns `true` when something was released.
     pub fn release_access(&self, subject: &str, stream: &str) -> bool {
-        let Some(deployment) = self.guard.lock().release(subject, stream) else {
+        let Some(released) = self.guard.lock().release(subject, stream) else {
             return false;
         };
-        self.graphs.lock().untrack(deployment);
-        let _ = self.engine.withdraw(deployment);
+        self.graphs.lock().untrack(subject, stream);
+        self.release_grant(&released.handle, released.plan);
         self.audit.lock().record(
             AuditEventKind::AccessReleased,
             Some(subject),
             Some(stream),
             None,
-            format!("{deployment} withdrawn"),
+            format!("handle {} retired", released.handle),
         );
         true
     }
@@ -631,11 +753,85 @@ impl DataServer {
         self.engine.deployment_count()
     }
 
+    /// Number of live shared plans — distinct compiled operator subgraphs
+    /// currently deployed through the access-control workflow. With plan
+    /// sharing on, this stays flat while grants multiply.
+    #[must_use]
+    pub fn plan_count(&self) -> usize {
+        self.plans.lock().plan_count()
+    }
+
+    /// Total live grants across all plans.
+    #[must_use]
+    pub fn grant_count(&self) -> usize {
+        self.plans.lock().grant_count()
+    }
+
     /// Engine-level counters.
     #[must_use]
     pub fn engine_stats(&self) -> exacml_dsms::EngineStats {
         self.engine.stats()
     }
+}
+
+/// Decide what to deploy for a grant: the **core** graph that runs on the
+/// engine, and the per-grant [`ResidualSpec`] applied at fan-out.
+///
+/// Two tiers:
+///
+/// * **Tier 2 (core + residual)** — when both the policy and the user graph
+///   are window-free (no aggregation box on either side), the user's filter
+///   only references attributes the policy exposes, and the merged
+///   projection stays within the policy-visible schema, the deployed core
+///   is the *policy* graph alone. The user's refinement becomes a residual:
+///   its filter condition re-checked per delivered tuple, the merged
+///   projection applied as a column mask. Every grant under the same policy
+///   shape then shares one deployment regardless of how its filters differ.
+/// * **Tier 1 (exact merge)** — otherwise the merged graph itself is the
+///   core with no residual. Aggregating graphs always take this tier:
+///   window state is shared only between grants whose merged graphs
+///   canonicalize identically, never approximated by residuals.
+///
+/// Either way the delivered stream is exactly the merged graph's output —
+/// tier 2's conditions are precisely what makes `core ∘ residual ≡ merged`.
+fn plan_core(
+    policy: &QueryGraph,
+    user: &QueryGraph,
+    merged: &QueryGraph,
+    input_schema: &Schema,
+) -> (QueryGraph, Option<ResidualSpec>) {
+    let tier1 = || (merged.clone(), None);
+    if policy.aggregate().is_some() || user.aggregate().is_some() {
+        return tier1();
+    }
+    let Ok(policy_out) = policy.output_schema(input_schema) else {
+        return tier1();
+    };
+    let predicate = match user.filter() {
+        Some(f) => {
+            if f.condition().attributes().iter().any(|a| !policy_out.contains(a)) {
+                return tier1();
+            }
+            Some(f.condition().clone())
+        }
+        None => None,
+    };
+    let projection = match merged.map() {
+        Some(m) => {
+            if m.attributes().iter().any(|a| !policy_out.contains(a)) {
+                return tier1();
+            }
+            let unchanged = m.attributes().len() == policy_out.len()
+                && m.attributes().iter().zip(policy_out.field_names()).all(|(a, b)| a == b);
+            if unchanged {
+                None // the core already delivers exactly these columns
+            } else {
+                Some(m.attributes().to_vec())
+            }
+        }
+        None => None,
+    };
+    (policy.clone(), Some(ResidualSpec { predicate, projection }))
 }
 
 #[cfg(test)]
@@ -931,6 +1127,163 @@ mod tests {
         assert!(!server.handle_is_live(&response.handle));
         // Liveness stays false on repeated queries (no resurrection).
         assert!(!server.handle_is_live(&response.handle));
+    }
+
+    fn open_weather_server(share_plans: bool) -> DataServer {
+        let server = DataServer::new(ServerConfig {
+            share_plans,
+            deploy_on_partial_result: true,
+            ..ServerConfig::local()
+        });
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        // No subject constraint: any subject may subscribe, so N consumers
+        // produce N overlapping grants of one policy shape.
+        server
+            .load_policy(
+                StreamPolicyBuilder::new("open-weather", "weather").filter("rainrate > 5").build(),
+            )
+            .unwrap();
+        server
+    }
+
+    fn rain_tuple(i: i64, rain: f64, wind: f64) -> Tuple {
+        Tuple::builder(&Schema::weather_example())
+            .set("samplingtime", Value::Timestamp(i * 30_000))
+            .set("rainrate", rain)
+            .set("windspeed", wind)
+            .finish_with_defaults()
+    }
+
+    #[test]
+    fn overlapping_grants_share_one_compiled_plan() {
+        let server = open_weather_server(true);
+        let responses: Vec<AccessResponse> = (0..8)
+            .map(|i| {
+                server
+                    .handle_request(&Request::subscribe(&format!("user{i}"), "weather"), None)
+                    .unwrap()
+            })
+            .collect();
+        // One deployment, one plan, eight grants with distinct handles.
+        assert_eq!(server.live_deployments(), 1);
+        assert_eq!(server.plan_count(), 1);
+        assert_eq!(server.grant_count(), 8);
+        assert!(responses.iter().all(|r| r.plan == responses[0].plan));
+        assert!(responses.iter().all(|r| r.deployment == responses[0].deployment));
+        let distinct: std::collections::HashSet<&str> =
+            responses.iter().map(|r| r.handle.uri()).collect();
+        assert_eq!(distinct.len(), 8);
+
+        // The shared plan fans out to every grant.
+        let rxs: Vec<_> = responses.iter().map(|r| server.subscribe(&r.handle).unwrap()).collect();
+        server.push("weather", rain_tuple(0, 10.0, 1.0)).unwrap();
+        server.push("weather", rain_tuple(1, 1.0, 1.0)).unwrap(); // filtered out
+        for rx in &rxs {
+            assert_eq!(rx.try_iter().count(), 1);
+        }
+    }
+
+    #[test]
+    fn releasing_shared_grants_withdraws_the_deployment_only_at_zero() {
+        let server = open_weather_server(true);
+        let responses: Vec<AccessResponse> = (0..3)
+            .map(|i| {
+                server
+                    .handle_request(&Request::subscribe(&format!("user{i}"), "weather"), None)
+                    .unwrap()
+            })
+            .collect();
+        assert!(server.release_access("user0", "weather"));
+        assert!(server.release_access("user1", "weather"));
+        // Released handles die immediately; the shared deployment survives
+        // for the remaining grant.
+        assert!(!server.handle_is_live(&responses[0].handle));
+        assert!(!server.handle_is_live(&responses[1].handle));
+        assert!(server.handle_is_live(&responses[2].handle));
+        assert_eq!(server.live_deployments(), 1);
+        assert_eq!(server.grant_count(), 1);
+        // The last release drops the refcount to zero and withdraws.
+        assert!(server.release_access("user2", "weather"));
+        assert_eq!(server.live_deployments(), 0);
+        assert_eq!(server.plan_count(), 0);
+    }
+
+    #[test]
+    fn share_plans_off_deploys_one_graph_per_grant() {
+        let server = open_weather_server(false);
+        for i in 0..4 {
+            server
+                .handle_request(&Request::subscribe(&format!("user{i}"), "weather"), None)
+                .unwrap();
+        }
+        // The unmerged baseline: grants and deployments grow in lockstep.
+        assert_eq!(server.live_deployments(), 4);
+        assert_eq!(server.plan_count(), 4);
+        assert_eq!(server.grant_count(), 4);
+    }
+
+    #[test]
+    fn tier2_residuals_share_the_policy_core_across_different_user_filters() {
+        let server = open_weather_server(true);
+        let heavy = UserQuery::for_stream("weather").with_filter("rainrate > 50");
+        let windy = UserQuery::for_stream("weather").with_filter("windspeed > 3");
+        let a =
+            server.handle_request(&Request::subscribe("alice", "weather"), Some(&heavy)).unwrap();
+        let b = server.handle_request(&Request::subscribe("bob", "weather"), Some(&windy)).unwrap();
+        // Window-free grants with in-schema filters ride the policy core:
+        // one deployment despite the differing refinements.
+        assert_eq!(a.deployment, b.deployment);
+        assert_eq!(server.live_deployments(), 1);
+        assert_eq!(server.plan_count(), 1);
+
+        // Each grant still receives exactly its own merged output.
+        let rx_a = server.subscribe(&a.handle).unwrap();
+        let rx_b = server.subscribe(&b.handle).unwrap();
+        server.push("weather", rain_tuple(0, 60.0, 1.0)).unwrap(); // heavy only
+        server.push("weather", rain_tuple(1, 10.0, 5.0)).unwrap(); // windy only
+        server.push("weather", rain_tuple(2, 3.0, 9.0)).unwrap(); // policy-filtered
+        let got_a: Vec<Tuple> = rx_a.try_iter().collect();
+        let got_b: Vec<Tuple> = rx_b.try_iter().collect();
+        assert_eq!(got_a.len(), 1);
+        assert!(got_a[0].get_f64("rainrate").unwrap() > 50.0);
+        assert_eq!(got_b.len(), 1);
+        assert!(got_b[0].get_f64("windspeed").unwrap() > 3.0);
+    }
+
+    #[test]
+    fn cross_policy_sharers_survive_the_other_policys_withdrawal() {
+        let server = DataServer::new(ServerConfig::local());
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        // Two policies with identical obligations for different subjects:
+        // their cores canonicalize identically, so the grants share a plan.
+        for (id, subject) in [("p-lta", "LTA"), ("p-ema", "EMA")] {
+            server
+                .load_policy(
+                    StreamPolicyBuilder::new(id, "weather")
+                        .subject(subject)
+                        .filter("rainrate > 5")
+                        .build(),
+                )
+                .unwrap();
+        }
+        let lta = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let ema = server.handle_request(&Request::subscribe("EMA", "weather"), None).unwrap();
+        assert_eq!(lta.deployment, ema.deployment);
+        assert_eq!(server.plan_count(), 1);
+
+        // Withdrawing p-lta evicts only LTA's grant; EMA keeps streaming on
+        // the (still-referenced) shared deployment.
+        assert_eq!(server.remove_policy("p-lta").unwrap(), 1);
+        assert!(!server.handle_is_live(&lta.handle));
+        assert!(server.handle_is_live(&ema.handle));
+        assert_eq!(server.live_deployments(), 1);
+        assert_eq!(server.grant_count(), 1);
+        let rx = server.subscribe(&ema.handle).unwrap();
+        server.push("weather", rain_tuple(0, 10.0, 1.0)).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        // EMA's release is the last reference: the deployment goes too.
+        assert!(server.release_access("EMA", "weather"));
+        assert_eq!(server.live_deployments(), 0);
     }
 
     #[test]

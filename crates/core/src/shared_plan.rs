@@ -1,0 +1,155 @@
+//! The shared-plan cache: one compiled operator subgraph per distinct query
+//! shape, refcounted across overlapping grants.
+//!
+//! Section 3.1 motivates merging policy and user graphs per request; this
+//! module extends the idea *across* requests. When thousands of consumers
+//! subscribe to overlapping views of one stream, the server deploys each
+//! distinct **core graph** once and attaches a cheap per-grant handle
+//! (optionally with a residual predicate + projection mask — see
+//! [`exacml_dsms::ResidualSpec`]) for every subscriber. The cache here is the
+//! bookkeeping: a canonical-signature → deployment map with a refcount per
+//! entry, so teardown (explicit release, policy removal/update) withdraws
+//! the deployment exactly when its last grant ends.
+//!
+//! The key is [`QueryGraph::canonical_signature`] of the *deployed core*
+//! graph. The policy id is deliberately **not** part of the key: the
+//! signature alone determines what the deployment computes and delivers, so
+//! two policies that compile to the same core soundly share one plan (this
+//! is also what makes replay of a journal stable across policy renames).
+//!
+//! [`QueryGraph::canonical_signature`]: exacml_dsms::QueryGraph::canonical_signature
+
+use exacml_dsms::DeploymentId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of one shared plan. Stable for the lifetime of the plan (from
+/// first deployment to the release of its last grant); carried in
+/// [`crate::AccessResponse`] so callers can observe sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(pub u64);
+
+impl fmt::Display for PlanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan-{}", self.0)
+    }
+}
+
+/// One cached plan: the deployment executing the core graph, and how many
+/// grants currently ride on it.
+#[derive(Debug)]
+struct PlanEntry {
+    key: String,
+    deployment: DeploymentId,
+    refcount: usize,
+}
+
+/// Refcounted map from canonical core-graph signatures to live deployments.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    next: u64,
+    by_key: HashMap<String, PlanId>,
+    by_id: HashMap<PlanId, PlanEntry>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Take one more reference on the plan cached under `key`, if any.
+    pub fn acquire(&mut self, key: &str) -> Option<(PlanId, DeploymentId)> {
+        let id = *self.by_key.get(key)?;
+        let entry = self.by_id.get_mut(&id).expect("by_key and by_id agree");
+        entry.refcount += 1;
+        Some((id, entry.deployment))
+    }
+
+    /// Cache a freshly deployed plan under `key` with refcount 1.
+    pub fn insert(&mut self, key: impl Into<String>, deployment: DeploymentId) -> PlanId {
+        let id = PlanId(self.next);
+        self.next += 1;
+        let key = key.into();
+        self.by_key.insert(key.clone(), id);
+        self.by_id.insert(id, PlanEntry { key, deployment, refcount: 1 });
+        id
+    }
+
+    /// Drop one reference. Returns the backing deployment and whether this
+    /// was the **last** reference (in which case the entry is evicted and the
+    /// caller must withdraw the deployment). `None` for unknown plans —
+    /// benign under racing release paths.
+    pub fn release(&mut self, id: PlanId) -> Option<(DeploymentId, bool)> {
+        let entry = self.by_id.get_mut(&id)?;
+        entry.refcount -= 1;
+        if entry.refcount > 0 {
+            return Some((entry.deployment, false));
+        }
+        let entry = self.by_id.remove(&id).expect("entry just borrowed");
+        self.by_key.remove(&entry.key);
+        Some((entry.deployment, true))
+    }
+
+    /// Current refcount of a plan (0 for unknown ids).
+    #[must_use]
+    pub fn refcount(&self, id: PlanId) -> usize {
+        self.by_id.get(&id).map_or(0, |e| e.refcount)
+    }
+
+    /// Number of live plans.
+    #[must_use]
+    pub fn plan_count(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Total grants across all plans (observability).
+    #[must_use]
+    pub fn grant_count(&self) -> usize {
+        self.by_id.values().map(|e| e.refcount).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_insert_release_lifecycle() {
+        let mut cache = PlanCache::new();
+        assert_eq!(cache.acquire("weather -> Filter(r > 5)"), None);
+        let plan = cache.insert("weather -> Filter(r > 5)", DeploymentId(3));
+        assert_eq!(cache.refcount(plan), 1);
+        assert_eq!(cache.plan_count(), 1);
+
+        let (again, deployment) = cache.acquire("weather -> Filter(r > 5)").unwrap();
+        assert_eq!(again, plan);
+        assert_eq!(deployment, DeploymentId(3));
+        assert_eq!(cache.refcount(plan), 2);
+        assert_eq!(cache.grant_count(), 2);
+
+        assert_eq!(cache.release(plan), Some((DeploymentId(3), false)));
+        assert_eq!(cache.release(plan), Some((DeploymentId(3), true)));
+        assert_eq!(cache.plan_count(), 0);
+        // Releasing a dead plan is a no-op, and the key is free again.
+        assert_eq!(cache.release(plan), None);
+        assert_eq!(cache.acquire("weather -> Filter(r > 5)"), None);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_plans() {
+        let mut cache = PlanCache::new();
+        let a = cache.insert("sig-a", DeploymentId(0));
+        let b = cache.insert("sig-b", DeploymentId(1));
+        assert_ne!(a, b);
+        assert_eq!(cache.acquire("sig-a").unwrap().0, a);
+        assert_eq!(cache.plan_count(), 2);
+        // Plan ids are never reused, even after eviction.
+        cache.release(a);
+        cache.release(a);
+        let c = cache.insert("sig-a", DeploymentId(2));
+        assert_ne!(c, a);
+        assert_eq!(cache.acquire("sig-a").unwrap(), (c, DeploymentId(2)));
+    }
+}

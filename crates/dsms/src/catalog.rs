@@ -38,6 +38,15 @@ impl StreamHandle {
         &self.0
     }
 
+    /// The serial number the handle was minted with — the trailing path
+    /// segment of a `exacml://host/streams/<serial>` URI. `None` for foreign
+    /// URIs that do not follow the minted shape. Recovery journals record
+    /// this so a replay can re-mint the identical URI.
+    #[must_use]
+    pub fn serial(&self) -> Option<u64> {
+        self.0.rsplit('/').next()?.parse().ok()
+    }
+
     /// Approximate wire size of the handle in bytes (used by the simulated
     /// network — handles are tiny compared to data, which is why the proxy
     /// cache helps less here than in the archived-data eXACML system).
@@ -133,6 +142,27 @@ impl StreamCatalog {
         let handle = StreamHandle::mint(&self.host, serial);
         self.handles.write().insert(handle.clone(), description.into());
         handle
+    }
+
+    /// Recovery hook: adopt a specific handle URI instead of minting a fresh
+    /// serial. A recovering server re-attaches each journaled grant under the
+    /// exact handle its consumer holds (the journal records the URI), then
+    /// advances the serial counter past everything ever minted with
+    /// [`StreamCatalog::resume_serial_at`].
+    ///
+    /// # Errors
+    /// Fails when a live handle already owns the URI.
+    pub fn adopt_handle(
+        &self,
+        handle: StreamHandle,
+        description: impl Into<String>,
+    ) -> Result<(), DsmsError> {
+        let mut handles = self.handles.write();
+        if handles.contains_key(&handle) {
+            return Err(DsmsError::StreamAlreadyExists(handle.uri().to_string()));
+        }
+        handles.insert(handle, description.into());
+        Ok(())
     }
 
     /// Recovery hook: resume handle-serial minting at `serial` (no-op when

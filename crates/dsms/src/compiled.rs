@@ -15,6 +15,7 @@
 //! (missing attributes and kind mismatches evaluate to `false`), which the
 //! unit tests below and the engine's own tests assert.
 
+use crate::error::DsmsError;
 use crate::ops::aggregate::AggregateOp;
 use crate::ops::filter::FilterOp;
 use crate::ops::map::MapOp;
@@ -25,6 +26,102 @@ use crate::value::Value;
 use crate::window::SlidingBuffer;
 use exacml_expr::{CmpOp, Expr, Scalar};
 use std::sync::Arc;
+
+/// What one subscriber still needs applied *after* a shared operator chain:
+/// an optional residual predicate and an optional projection, both expressed
+/// against the shared deployment's **output** schema.
+///
+/// This is the fan-out half of multi-query sharing: when many subscribers'
+/// query graphs agree on a common core (typically the policy-mandated
+/// chain), the engine deploys the core once and attaches each subscriber
+/// through a [`ResidualSpec`] compiled into its resolved form, so the
+/// per-tuple cost of the core is paid once regardless of subscriber count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResidualSpec {
+    /// Filter condition evaluated on each core output tuple; `None` passes
+    /// everything through.
+    pub predicate: Option<Expr>,
+    /// Attributes (of the core output schema) the subscriber sees, in
+    /// order; `None` delivers the full core output row.
+    pub projection: Option<Vec<String>>,
+}
+
+impl ResidualSpec {
+    /// A residual that forwards every core output tuple unchanged.
+    #[must_use]
+    pub fn passthrough() -> Self {
+        ResidualSpec::default()
+    }
+
+    /// Whether this residual does nothing (no predicate, no projection).
+    #[must_use]
+    pub fn is_passthrough(&self) -> bool {
+        self.predicate.is_none() && self.projection.is_none()
+    }
+}
+
+/// A [`ResidualSpec`] with attribute names resolved against the shared
+/// deployment's output schema, applied per subscriber at fan-out time.
+#[derive(Debug)]
+pub struct CompiledResidual {
+    predicate: Option<CompiledPredicate>,
+    /// Source positions + projected schema, mirroring a compiled map box.
+    mask: Option<(Vec<usize>, Arc<Schema>)>,
+}
+
+impl CompiledResidual {
+    /// Resolve a residual spec against the core output schema. Predicate
+    /// leaves naming missing attributes compile to constant `false` (the
+    /// interpreted filter semantics); a projection naming a missing
+    /// attribute is an error, exactly like deploying a map box would be.
+    pub(crate) fn compile(
+        spec: &ResidualSpec,
+        schema: &Schema,
+    ) -> Result<CompiledResidual, DsmsError> {
+        let predicate = spec.predicate.as_ref().map(|e| CompiledPredicate::compile(e, schema));
+        let mask = match &spec.projection {
+            Some(attrs) => {
+                let map = MapOp::new(attrs.clone());
+                let projected = map.output_schema(schema)?.shared();
+                let indices = attrs
+                    .iter()
+                    .map(|attr| {
+                        schema
+                            .index_of(attr)
+                            .expect("output_schema validated every projected attribute")
+                    })
+                    .collect();
+                Some((indices, projected))
+            }
+            None => None,
+        };
+        Ok(CompiledResidual { predicate, mask })
+    }
+
+    /// The subscriber-visible schema when the residual projects; `None`
+    /// means the subscriber sees the core output schema unchanged.
+    pub(crate) fn masked_schema(&self) -> Option<&Arc<Schema>> {
+        self.mask.as_ref().map(|(_, schema)| schema)
+    }
+
+    /// Apply the residual to one core output tuple: `None` when the
+    /// predicate rejects it, otherwise the (possibly projected) tuple.
+    pub(crate) fn apply(&self, tuple: &Tuple) -> Option<Tuple> {
+        if let Some(pred) = &self.predicate {
+            if !pred.matches(tuple.values()) {
+                return None;
+            }
+        }
+        match &self.mask {
+            Some((indices, schema)) => {
+                let values: Arc<[Value]> =
+                    indices.iter().map(|&i| tuple.values()[i].clone()).collect();
+                Some(Tuple::from_trusted_parts(Arc::clone(schema), values))
+            }
+            None => Some(tuple.clone()),
+        }
+    }
+}
 
 /// A filter condition with every attribute resolved to a value-row index.
 #[derive(Debug, Clone)]
@@ -370,6 +467,47 @@ mod tests {
         assert_eq!(out[0].schema().field_names(), vec!["s", "a"]);
         assert_eq!(out[0].get("s").unwrap().as_str(), Some("hello"));
         assert_eq!(out[0].get_f64("a"), Some(1.5));
+    }
+
+    #[test]
+    fn residual_applies_predicate_then_projection() {
+        let spec = ResidualSpec {
+            predicate: Some(parse_expr("a > 1").unwrap()),
+            projection: Some(vec!["s".to_string(), "b".to_string()]),
+        };
+        let residual = CompiledResidual::compile(&spec, &schema()).unwrap();
+        assert_eq!(residual.masked_schema().unwrap().field_names(), vec!["s", "b"]);
+
+        assert!(residual.apply(&tuple(0.5, 3, "x")).is_none());
+        let out = residual.apply(&tuple(2.0, 7, "y")).unwrap();
+        assert_eq!(out.schema().field_names(), vec!["s", "b"]);
+        assert_eq!(out.get("s").unwrap().as_str(), Some("y"));
+        assert_eq!(out.get_f64("b"), Some(7.0));
+    }
+
+    #[test]
+    fn passthrough_residual_forwards_unchanged() {
+        let spec = ResidualSpec::passthrough();
+        assert!(spec.is_passthrough());
+        let residual = CompiledResidual::compile(&spec, &schema()).unwrap();
+        assert!(residual.masked_schema().is_none());
+        let t = tuple(1.0, 2, "z");
+        assert_eq!(residual.apply(&t), Some(t));
+    }
+
+    #[test]
+    fn residual_projection_of_missing_attribute_is_an_error() {
+        let spec = ResidualSpec { predicate: None, projection: Some(vec!["bogus".to_string()]) };
+        assert!(matches!(
+            CompiledResidual::compile(&spec, &schema()),
+            Err(DsmsError::UnknownAttribute { .. })
+        ));
+        // A *predicate* over a missing attribute compiles to constant false,
+        // matching the interpreted filter semantics.
+        let spec =
+            ResidualSpec { predicate: Some(parse_expr("bogus > 1").unwrap()), projection: None };
+        let residual = CompiledResidual::compile(&spec, &schema()).unwrap();
+        assert!(residual.apply(&tuple(9.0, 9, "x")).is_none());
     }
 
     #[test]

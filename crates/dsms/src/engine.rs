@@ -27,7 +27,7 @@
 //! M subscribers costs reference-count bumps, not copies.
 
 use crate::catalog::{StreamCatalog, StreamHandle};
-use crate::compiled::CompiledStage;
+use crate::compiled::{CompiledResidual, CompiledStage, ResidualSpec};
 use crate::error::DsmsError;
 use crate::graph::QueryGraph;
 use crate::schema::Schema;
@@ -73,13 +73,41 @@ pub struct EngineStats {
     pub deployments_withdrawn: u64,
 }
 
+/// One subscriber of a deployment's output: the handle it subscribed
+/// through, the delivery channel, and the per-grant residual (if the handle
+/// was attached with one) applied to each tuple before sending.
+struct SubscriberSlot {
+    handle: StreamHandle,
+    tx: Sender<Tuple>,
+    residual: Option<Arc<CompiledResidual>>,
+}
+
+impl SubscriberSlot {
+    /// Deliver one core output tuple through the residual, by move.
+    fn send(&self, out: Tuple) {
+        match &self.residual {
+            None => {
+                let _ = self.tx.send(out);
+            }
+            Some(residual) => {
+                if let Some(t) = residual.apply(&out) {
+                    let _ = self.tx.send(t);
+                }
+            }
+        }
+    }
+}
+
 /// Runtime state of one deployed query graph.
 struct DeploymentState {
     id: DeploymentId,
     stages: Vec<CompiledStage>,
     output_handle: StreamHandle,
     output_schema: Arc<Schema>,
-    subscribers: Vec<Sender<Tuple>>,
+    /// Per-grant handles attached via [`StreamEngine::attach_handle`]
+    /// (the primary `output_handle` is not in this list).
+    attached: Vec<StreamHandle>,
+    subscribers: Vec<SubscriberSlot>,
     emitted: u64,
     /// Reusable stage buffers: the per-tuple working set allocates nothing
     /// once the deployment has warmed up.
@@ -93,7 +121,8 @@ impl DeploymentState {
     ///
     /// Disconnected receivers are dropped *before* any tuple is cloned for
     /// them, and the last subscriber receives each tuple by move rather than
-    /// by clone.
+    /// by clone. Subscribers attached with a residual see the tuple filtered
+    /// and projected by it; the shared chain above runs once either way.
     fn process_and_fan_out(&mut self, tuple: &Tuple) -> usize {
         let mut current = std::mem::take(&mut self.scratch_current);
         let mut next = std::mem::take(&mut self.scratch_next);
@@ -114,13 +143,13 @@ impl DeploymentState {
         self.emitted += emitted as u64;
 
         if emitted > 0 {
-            self.subscribers.retain(|tx| !tx.is_disconnected());
+            self.subscribers.retain(|slot| !slot.tx.is_disconnected());
             if let Some(fan_out) = self.subscribers.len().checked_sub(1) {
                 for out in current.drain(..) {
-                    for tx in &self.subscribers[..fan_out] {
-                        let _ = tx.send(out.clone());
+                    for slot in &self.subscribers[..fan_out] {
+                        slot.send(out.clone());
                     }
-                    let _ = self.subscribers[fan_out].send(out);
+                    self.subscribers[fan_out].send(out);
                 }
             }
         }
@@ -137,6 +166,14 @@ struct Shard {
     deployments: Mutex<Vec<DeploymentState>>,
 }
 
+/// What one live handle resolves to: the deployment behind it plus the
+/// residual applied to that handle's subscribers (per-grant handles attached
+/// to a shared deployment carry one; primary handles never do).
+struct HandleEntry {
+    id: DeploymentId,
+    residual: Option<Arc<CompiledResidual>>,
+}
+
 /// The Aurora-model continuous query engine (see the module docs for the
 /// sharded locking structure).
 pub struct StreamEngine {
@@ -144,7 +181,7 @@ pub struct StreamEngine {
     shards: RwLock<HashMap<String, Arc<Shard>>>,
     /// Deployment → input stream, the authority on deployment liveness.
     routes: RwLock<HashMap<DeploymentId, String>>,
-    by_handle: RwLock<HashMap<StreamHandle, DeploymentId>>,
+    by_handle: RwLock<HashMap<StreamHandle, HandleEntry>>,
     next_id: AtomicU64,
     tuples_ingested: AtomicU64,
     tuples_emitted: AtomicU64,
@@ -259,21 +296,23 @@ impl StreamEngine {
             stages,
             output_handle: output_handle.clone(),
             output_schema: Arc::clone(&output_schema),
+            attached: Vec::new(),
             subscribers: Vec::new(),
             emitted: 0,
             scratch_current: Vec::new(),
             scratch_next: Vec::new(),
         };
         self.routes.write().insert(id, graph.stream.clone());
-        self.by_handle.write().insert(output_handle.clone(), id);
+        self.by_handle.write().insert(output_handle.clone(), HandleEntry { id, residual: None });
         shard.deployments.lock().push(state);
         self.deployments_created.fetch_add(1, Ordering::Relaxed);
 
         Ok(Deployment { id, output_handle, output_schema })
     }
 
-    /// Withdraw a deployment by id, releasing its output handle. Subscribers
-    /// see their channel disconnect.
+    /// Withdraw a deployment by id, releasing its primary output handle
+    /// **and** every per-grant handle attached to it. Subscribers see their
+    /// channel disconnect.
     ///
     /// # Errors
     /// Fails when the deployment is unknown.
@@ -292,8 +331,13 @@ impl StreamEngine {
                 .expect("routes and shard deployments are kept consistent");
             deployments.remove(index)
         };
+        let mut by_handle = self.by_handle.write();
         self.catalog.release_handle(&state.output_handle);
-        self.by_handle.write().remove(&state.output_handle);
+        by_handle.remove(&state.output_handle);
+        for handle in &state.attached {
+            self.catalog.release_handle(handle);
+            by_handle.remove(handle);
+        }
         self.deployments_withdrawn.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -307,34 +351,144 @@ impl StreamEngine {
             .by_handle
             .read()
             .get(handle)
-            .copied()
+            .map(|entry| entry.id)
             .ok_or_else(|| DsmsError::UnknownHandle(handle.uri().to_string()))?;
         self.withdraw(id)
     }
 
-    /// Subscribe to the derived tuples of an output stream.
+    /// Attach a per-grant handle to a live deployment, optionally carrying a
+    /// residual (predicate + projection over the deployment's *output*
+    /// schema) applied to that handle's subscribers at fan-out. This is how
+    /// many grants share one compiled operator chain: the chain runs once
+    /// per source tuple, each attached handle pays only its residual.
+    ///
+    /// The returned handle behaves like a deployment's own handle for
+    /// [`StreamEngine::subscribe`] / [`StreamEngine::output_schema`] /
+    /// liveness, and is released by [`StreamEngine::retire_handle`] (one
+    /// grant ends) or [`StreamEngine::withdraw`] (the whole plan ends).
+    ///
+    /// # Errors
+    /// Fails when the deployment is unknown or the residual projection names
+    /// an attribute the output schema lacks.
+    pub fn attach_handle(
+        &self,
+        id: DeploymentId,
+        residual: Option<&ResidualSpec>,
+    ) -> Result<StreamHandle, DsmsError> {
+        self.attach_handle_inner(id, residual, None)
+    }
+
+    /// Recovery variant of [`StreamEngine::attach_handle`]: attach under a
+    /// specific, pre-existing handle URI instead of minting a fresh serial.
+    /// A recovering server replays each journaled grant with the exact
+    /// handle its consumer still holds — minting arithmetic cannot reproduce
+    /// pre-crash serials once released grants have been pruned from the
+    /// journal, so the URI itself is the replay contract.
+    ///
+    /// # Errors
+    /// As [`StreamEngine::attach_handle`], plus when the URI is already live.
+    pub fn attach_handle_as(
+        &self,
+        id: DeploymentId,
+        residual: Option<&ResidualSpec>,
+        handle: StreamHandle,
+    ) -> Result<StreamHandle, DsmsError> {
+        self.attach_handle_inner(id, residual, Some(handle))
+    }
+
+    fn attach_handle_inner(
+        &self,
+        id: DeploymentId,
+        residual: Option<&ResidualSpec>,
+        adopt: Option<StreamHandle>,
+    ) -> Result<StreamHandle, DsmsError> {
+        let unknown = || DsmsError::UnknownHandle(format!("{id}"));
+        let stream = self.routes.read().get(&id).cloned().ok_or_else(unknown)?;
+        let shard = self.shard(&stream)?;
+        let mut deployments = shard.deployments.lock();
+        let state = deployments.iter_mut().find(|d| d.id == id).ok_or_else(unknown)?;
+        let compiled = match residual {
+            Some(spec) if !spec.is_passthrough() => {
+                Some(Arc::new(CompiledResidual::compile(spec, &state.output_schema)?))
+            }
+            _ => None,
+        };
+        let handle = match adopt {
+            Some(handle) => {
+                self.catalog.adopt_handle(handle.clone(), format!("{id}"))?;
+                handle
+            }
+            None => self.catalog.mint_handle(format!("{id}")),
+        };
+        state.attached.push(handle.clone());
+        self.by_handle.write().insert(handle.clone(), HandleEntry { id, residual: compiled });
+        Ok(handle)
+    }
+
+    /// Retire one per-grant handle attached via
+    /// [`StreamEngine::attach_handle`]: the handle dies, its subscribers
+    /// disconnect, and the shared deployment (and every other attached
+    /// handle) lives on. Returns the deployment the handle belonged to so
+    /// callers tracking plan refcounts can decide whether to
+    /// [`StreamEngine::withdraw`] it.
+    ///
+    /// # Errors
+    /// Fails when the handle is unknown or is a deployment's *primary*
+    /// handle (primary handles die only with the deployment).
+    pub fn retire_handle(&self, handle: &StreamHandle) -> Result<DeploymentId, DsmsError> {
+        let unknown = || DsmsError::UnknownHandle(handle.uri().to_string());
+        let id = self.by_handle.read().get(handle).map(|entry| entry.id).ok_or_else(unknown)?;
+        let stream = self.routes.read().get(&id).cloned().ok_or_else(unknown)?;
+        let shard = self.shard(&stream)?;
+        let mut deployments = shard.deployments.lock();
+        let state = deployments.iter_mut().find(|d| d.id == id).ok_or_else(unknown)?;
+        let index = state.attached.iter().position(|h| h == handle).ok_or_else(|| {
+            DsmsError::UnknownHandle(format!("{} is a primary handle", handle.uri()))
+        })?;
+        state.attached.remove(index);
+        state.subscribers.retain(|slot| slot.handle != *handle);
+        self.catalog.release_handle(handle);
+        self.by_handle.write().remove(handle);
+        Ok(id)
+    }
+
+    /// Subscribe to the derived tuples of an output stream. Subscribing
+    /// through a per-grant handle attaches that handle's residual to the
+    /// returned channel.
     ///
     /// # Errors
     /// Fails when the handle does not correspond to a live deployment.
     pub fn subscribe(&self, handle: &StreamHandle) -> Result<Receiver<Tuple>, DsmsError> {
         let unknown = || DsmsError::UnknownHandle(handle.uri().to_string());
-        let id = self.by_handle.read().get(handle).copied().ok_or_else(unknown)?;
+        let (id, residual) = {
+            let by_handle = self.by_handle.read();
+            let entry = by_handle.get(handle).ok_or_else(unknown)?;
+            (entry.id, entry.residual.clone())
+        };
         let stream = self.routes.read().get(&id).cloned().ok_or_else(unknown)?;
         let shard = self.shard(&stream)?;
         let mut deployments = shard.deployments.lock();
         let state = deployments.iter_mut().find(|d| d.id == id).ok_or_else(unknown)?;
         let (tx, rx) = unbounded();
-        state.subscribers.push(tx);
+        state.subscribers.push(SubscriberSlot { handle: handle.clone(), tx, residual });
         Ok(rx)
     }
 
-    /// Schema of the output stream behind a handle.
+    /// Schema of the output stream behind a handle: the deployment's output
+    /// schema, narrowed by the handle's residual projection when it has one.
     ///
     /// # Errors
     /// Fails when the handle is unknown.
     pub fn output_schema(&self, handle: &StreamHandle) -> Result<Arc<Schema>, DsmsError> {
         let unknown = || DsmsError::UnknownHandle(handle.uri().to_string());
-        let id = self.by_handle.read().get(handle).copied().ok_or_else(unknown)?;
+        let (id, residual) = {
+            let by_handle = self.by_handle.read();
+            let entry = by_handle.get(handle).ok_or_else(unknown)?;
+            (entry.id, entry.residual.clone())
+        };
+        if let Some(masked) = residual.as_deref().and_then(CompiledResidual::masked_schema) {
+            return Ok(Arc::clone(masked));
+        }
         let stream = self.routes.read().get(&id).cloned().ok_or_else(unknown)?;
         let shard = self.shard(&stream)?;
         let deployments = shard.deployments.lock();
@@ -423,16 +577,28 @@ impl StreamEngine {
         Ok(self.process_locked(&mut deployments, &batch))
     }
 
-    /// Recovery hook: resume deployment-id and handle-serial minting at
-    /// `next` (no-op when the counters are already past it). Deployment ids
-    /// and handle serials advance in lockstep — every handle is minted by a
-    /// deploy — so a recovering server replays each surviving deployment
-    /// with the id it held before the crash (re-minting the *same* handle
-    /// URI), then advances past the largest id ever minted so a released
-    /// handle can never come back to life pointing at a different
-    /// deployment.
+    /// Recovery hook: resume deployment-id minting at `next`, and advance
+    /// handle serials at least as far (no-op when the counters are already
+    /// past it). Handle serials are **not** in lockstep with deployment ids
+    /// — [`StreamEngine::attach_handle`] mints per-grant handles without a
+    /// deploy — but they never lag them (every deploy mints its primary
+    /// handle), so a recovering server calls this with a recorded deployment
+    /// id right before re-deploying (re-minting the same id), and calls
+    /// [`StreamEngine::resume_handle_serial_at`] with each recorded handle
+    /// serial right before re-attaching (re-minting the same handle URI).
+    /// Advancing past everything ever minted guarantees a released handle
+    /// can never come back to life pointing at a different deployment.
     pub fn resume_ids_at(&self, next: u64) {
         self.next_id.fetch_max(next, Ordering::Relaxed);
+        self.catalog.resume_serial_at(next);
+    }
+
+    /// Recovery hook: resume handle-serial minting at `next` without
+    /// touching the deployment-id counter (see
+    /// [`StreamEngine::resume_ids_at`]). The next minted handle gets serial
+    /// `next` — callers pass the serial a handle held before the crash to
+    /// re-mint the identical URI.
+    pub fn resume_handle_serial_at(&self, next: u64) {
         self.catalog.resume_serial_at(next);
     }
 
@@ -718,6 +884,114 @@ mod tests {
             engine.push("weather", weather_tuple(&schema, i, 10.0, 1.0)).unwrap();
         }
         assert!(rx.try_iter().count() > 0);
+    }
+
+    #[test]
+    fn attached_handles_share_one_deployment_with_residuals() {
+        use crate::compiled::ResidualSpec;
+        use exacml_expr::parse_expr;
+
+        let (engine, schema) = engine_with_weather();
+        // One shared core: the policy filter, deployed once.
+        let core =
+            QueryGraphBuilder::on_stream("weather").filter_str("rainrate > 5").unwrap().build();
+        let d = engine.deploy(&core).unwrap();
+
+        // Grant A: tighter predicate + projection. Grant B: passthrough.
+        let spec_a = ResidualSpec {
+            predicate: Some(parse_expr("windspeed > 3").unwrap()),
+            projection: Some(vec!["samplingtime".to_string(), "rainrate".to_string()]),
+        };
+        let ha = engine.attach_handle(d.id, Some(&spec_a)).unwrap();
+        let hb = engine.attach_handle(d.id, None).unwrap();
+        assert_ne!(ha, hb);
+        assert_ne!(ha, d.output_handle);
+        assert_eq!(engine.deployment_count(), 1);
+        assert_eq!(
+            engine.output_schema(&ha).unwrap().field_names(),
+            vec!["samplingtime", "rainrate"]
+        );
+        assert_eq!(engine.output_schema(&hb).unwrap(), d.output_schema);
+
+        let rx_a = engine.subscribe(&ha).unwrap();
+        let rx_b = engine.subscribe(&hb).unwrap();
+        engine.push("weather", weather_tuple(&schema, 0, 10.0, 1.0)).unwrap(); // A filtered out
+        engine.push("weather", weather_tuple(&schema, 1, 10.0, 9.0)).unwrap(); // both
+        engine.push("weather", weather_tuple(&schema, 2, 1.0, 9.0)).unwrap(); // core drops
+
+        let a: Vec<Tuple> = rx_a.try_iter().collect();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].schema().field_names(), vec!["samplingtime", "rainrate"]);
+        assert_eq!(rx_b.try_iter().count(), 2);
+        // The shared chain ran once per tuple regardless of subscribers.
+        assert_eq!(engine.emitted_by(d.id), Some(2));
+    }
+
+    #[test]
+    fn retire_handle_keeps_the_shared_deployment_alive() {
+        let (engine, schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        let ha = engine.attach_handle(d.id, None).unwrap();
+        let hb = engine.attach_handle(d.id, None).unwrap();
+        let rx_a = engine.subscribe(&ha).unwrap();
+        let rx_b = engine.subscribe(&hb).unwrap();
+
+        assert_eq!(engine.retire_handle(&ha).unwrap(), d.id);
+        assert!(!engine.catalog().handle_is_live(&ha));
+        assert!(engine.catalog().handle_is_live(&hb));
+        assert_eq!(engine.deployment_count(), 1);
+        // The retired grant's subscriber is disconnected, the other lives.
+        engine.push("weather", weather_tuple(&schema, 0, 1.0, 1.0)).unwrap();
+        assert!(rx_a.try_recv().is_err());
+        assert_eq!(rx_b.try_iter().count(), 1);
+
+        // Retiring again, retiring the primary, or a foreign handle fails.
+        assert!(engine.retire_handle(&ha).is_err());
+        assert!(engine.retire_handle(&d.output_handle).is_err());
+        assert!(engine.deployment_count() == 1);
+
+        // Withdrawing the deployment releases every remaining handle.
+        engine.withdraw(d.id).unwrap();
+        assert!(!engine.catalog().handle_is_live(&hb));
+        assert!(!engine.catalog().handle_is_live(&d.output_handle));
+        assert!(matches!(engine.subscribe(&hb), Err(DsmsError::UnknownHandle(_))));
+    }
+
+    #[test]
+    fn attach_handle_validates_deployment_and_residual() {
+        use crate::compiled::ResidualSpec;
+        let (engine, _schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        assert!(engine.attach_handle(DeploymentId(999), None).is_err());
+        let bad = ResidualSpec { predicate: None, projection: Some(vec!["bogus".to_string()]) };
+        assert!(matches!(
+            engine.attach_handle(d.id, Some(&bad)),
+            Err(DsmsError::UnknownAttribute { .. })
+        ));
+        // A failed attach leaks nothing: withdraw still releases cleanly.
+        engine.withdraw(d.id).unwrap();
+        assert_eq!(engine.catalog().live_handles(), 0);
+    }
+
+    #[test]
+    fn attach_handle_as_adopts_the_exact_uri() {
+        let (engine, schema) = engine_with_weather();
+        let d = engine.deploy(&QueryGraph::identity("weather")).unwrap();
+        let recovered = StreamHandle::from_uri("exacml://dsms-host/streams/700");
+        let handle = engine.attach_handle_as(d.id, None, recovered.clone()).unwrap();
+        assert_eq!(handle, recovered);
+        assert!(engine.catalog().handle_is_live(&recovered));
+        let rx = engine.subscribe(&recovered).unwrap();
+        engine.push("weather", weather_tuple(&schema, 0, 1.0, 1.0)).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        // Adopting a URI that is already live is an error, not a hijack.
+        assert!(engine.attach_handle_as(d.id, None, recovered.clone()).is_err());
+        assert!(engine.attach_handle_as(d.id, None, d.output_handle.clone()).is_err());
+        // The counter resumes past the recovered serial, so fresh mints
+        // never collide with adopted URIs.
+        engine.resume_handle_serial_at(recovered.serial().unwrap() + 1);
+        let fresh = engine.attach_handle(d.id, None).unwrap();
+        assert_eq!(fresh.serial().unwrap(), 701);
     }
 
     #[test]

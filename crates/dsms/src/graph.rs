@@ -123,6 +123,24 @@ impl QueryGraph {
         self.output_schema(input).map(|_| ())
     }
 
+    /// A canonical textual signature of the whole graph, usable as a
+    /// plan-cache key: the stream name lowercased (stream registration is
+    /// case-sensitive but the access-control layer canonicalizes stream
+    /// names to lowercase), followed by the exact `Display` form of every
+    /// operator box in order. Two graphs with equal signatures compute the
+    /// same derived stream, so they can share one deployment; the converse
+    /// does not hold (semantically equal but syntactically different filters
+    /// get distinct signatures — missed sharing, never wrong sharing).
+    #[must_use]
+    pub fn canonical_signature(&self) -> String {
+        use std::fmt::Write;
+        let mut sig = self.stream.to_ascii_lowercase();
+        for node in &self.nodes {
+            let _ = write!(sig, " -> {}", node.operator);
+        }
+        sig
+    }
+
     /// A short structural signature — which box kinds appear, in order —
     /// used by the workload generator to label query-graph compositions
     /// (`FB`, `MB`, `AB`, `FB+MB`, ... as in Table 3).
@@ -316,6 +334,17 @@ mod tests {
             .map(schema_attrs)
             .build();
         assert_eq!(fb_mb.composition(), "FB+MB");
+    }
+
+    #[test]
+    fn canonical_signature_ignores_stream_case_but_not_literals() {
+        let lower = QueryGraphBuilder::on_stream("weather").filter_str("s = 'X'").unwrap().build();
+        let upper = QueryGraphBuilder::on_stream("Weather").filter_str("s = 'X'").unwrap().build();
+        assert_eq!(lower.canonical_signature(), upper.canonical_signature());
+        // Text literals differing only in case are semantically different
+        // filters and must NOT share a plan.
+        let other = QueryGraphBuilder::on_stream("weather").filter_str("s = 'x'").unwrap().build();
+        assert_ne!(lower.canonical_signature(), other.canonical_signature());
     }
 
     #[test]

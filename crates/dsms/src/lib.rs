@@ -63,6 +63,7 @@ pub mod value;
 pub mod window;
 
 pub use catalog::{StreamCatalog, StreamHandle};
+pub use compiled::ResidualSpec;
 pub use engine::{Deployment, DeploymentId, EngineStats, StreamEngine};
 pub use error::DsmsError;
 pub use graph::{GraphNode, QueryGraph, QueryGraphBuilder};
@@ -78,6 +79,7 @@ pub use window::{WindowKind, WindowSpec};
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::catalog::{StreamCatalog, StreamHandle};
+    pub use crate::compiled::ResidualSpec;
     pub use crate::engine::{Deployment, DeploymentId, StreamEngine};
     pub use crate::error::DsmsError;
     pub use crate::graph::{GraphNode, QueryGraph, QueryGraphBuilder};

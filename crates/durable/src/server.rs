@@ -126,6 +126,10 @@ pub struct DurableConfig {
     pub map_union: bool,
     /// `MergeOptions::simplify_filters` of the wrapped server.
     pub simplify_filters: bool,
+    /// `ServerConfig::share_plans` of the wrapped server: overlapping
+    /// grants ride one compiled subgraph. Persisted because recovery must
+    /// rebuild the same plan topology the journal was written under.
+    pub share_plans: bool,
     /// Journal tuple batches too, so window state and engine ingest survive
     /// up to the last acknowledged push (control-plane state is journaled
     /// regardless). Costs one WAL append per push/push_batch.
@@ -148,6 +152,7 @@ impl Default for DurableConfig {
             dsms_host: "dsms".to_string(),
             map_union: false,
             simplify_filters: true,
+            share_plans: true,
             journal_ingest: true,
             sync_writes: false,
             snapshot_every: 50_000,
@@ -174,6 +179,7 @@ impl DurableConfig {
             topology: self.topology.topology(),
             seed: self.seed,
             dsms_host: self.dsms_host.clone(),
+            share_plans: self.share_plans,
         }
     }
 }
@@ -200,10 +206,18 @@ struct Journal {
     records_since_snapshot: u64,
     /// The first audit sequence number not yet journaled.
     next_audit_seq: u64,
-    /// Live grants by deployment id — the snapshot's replay set.
+    /// Live grants in grant order — the snapshot's replay set. Keyed by a
+    /// monotone per-grant counter, *not* by deployment id: under plan
+    /// sharing several grants ride one deployment.
     grants: BTreeMap<u64, GrantRecord>,
+    /// The next key for `grants` (monotone so replay order is grant order).
+    next_grant_key: u64,
     /// One past the largest deployment id ever minted.
     next_deployment_id: u64,
+    /// One past the largest handle serial ever journaled, including grants
+    /// since released. Recovery adopts live grants' URIs verbatim, so fresh
+    /// mints must start above every serial that was ever handed out.
+    next_handle_serial: u64,
     /// Reusable encode buffer for ingest records (the hot path allocates
     /// nothing once warm).
     scratch: String,
@@ -239,6 +253,7 @@ fn write_meta(path: &Path, config: &DurableConfig) -> Result<(), ExacmlError> {
         ("dsms_host".to_string(), Content::Str(config.dsms_host.clone())),
         ("map_union".to_string(), Content::Bool(config.map_union)),
         ("simplify_filters".to_string(), Content::Bool(config.simplify_filters)),
+        ("share_plans".to_string(), Content::Bool(config.share_plans)),
         ("journal_ingest".to_string(), Content::Bool(config.journal_ingest)),
         ("sync_writes".to_string(), Content::Bool(config.sync_writes)),
         ("snapshot_every".to_string(), Content::U64(config.snapshot_every)),
@@ -280,6 +295,10 @@ fn read_meta(path: &Path) -> Result<DurableConfig, ExacmlError> {
         dsms_host: value.get("dsms_host").and_then(Value::as_str).unwrap_or("dsms").to_string(),
         map_union: bool_of("map_union")?,
         simplify_filters: bool_of("simplify_filters")?,
+        // Default-tolerant, and deliberately *off* for stores written
+        // before plan sharing: their journals minted one deployment per
+        // grant, and replay must reproduce those deployment ids exactly.
+        share_plans: value.get("share_plans").and_then(Value::as_bool).unwrap_or(false),
         journal_ingest: bool_of("journal_ingest")?,
         sync_writes: bool_of("sync_writes")?,
         snapshot_every: value.get("snapshot_every").and_then(Value::as_f64).unwrap_or(0.0) as u64,
@@ -317,7 +336,9 @@ impl DurableServer {
                 records_since_snapshot: 0,
                 next_audit_seq: 0,
                 grants: BTreeMap::new(),
+                next_grant_key: 0,
                 next_deployment_id: 0,
+                next_handle_serial: 0,
                 scratch: String::new(),
                 failed: None,
             }),
@@ -365,8 +386,10 @@ impl DurableServer {
 
         let inner = DataServer::new(config.server_config());
         let mut grants: BTreeMap<u64, GrantRecord> = BTreeMap::new();
+        let mut next_grant_key = 0u64;
         let mut audit: Vec<AuditEvent> = Vec::new();
         let mut next_deployment_id = 0u64;
+        let mut next_handle_serial = 0u64;
         let mut horizon = 0u64;
 
         if let Some(snapshot) = &snapshot {
@@ -379,16 +402,19 @@ impl DurableServer {
                 inner.load_policy(parse_policy(xml)?)?;
             }
             inner.policy_store().resume_revision_at(snapshot.store_revision);
-            for grant in &snapshot.grants {
-                Self::replay_grant(&inner, grant)?;
-                grants.insert(grant.deployment, grant.clone());
-            }
             audit.clone_from(&snapshot.audit);
             next_deployment_id = snapshot.next_deployment_id;
+            next_handle_serial = snapshot.next_handle_serial;
             horizon = snapshot.wal_horizon;
         }
 
+        // Decode the whole WAL tail before replaying anything: replayed
+        // grants adopt their journaled handle URIs verbatim, so the serial
+        // counter must first clear *every* journaled serial — a deploy
+        // during replay must never mint a primary handle that collides with
+        // a URI a later grant record is about to adopt.
         let mut next_seq = horizon;
+        let mut tail: Vec<Record> = Vec::new();
         for record in &contents.records {
             if record.seq < horizon {
                 continue; // Already folded into the snapshot.
@@ -396,6 +422,41 @@ impl DurableServer {
             next_seq = record.seq + 1;
             let decoded = crate::record::decode(&record.value)
                 .map_err(|e| durability(&format!("decode WAL record {}", record.seq), e))?;
+            tail.push(decoded);
+        }
+        let journaled_serials = snapshot
+            .iter()
+            .flat_map(|s| s.grants.iter())
+            .chain(tail.iter().filter_map(|r| match r {
+                Record::Grant(grant) => Some(grant),
+                _ => None,
+            }))
+            .filter_map(|g| StreamHandle::from_uri(g.handle.clone()).serial());
+        for serial in journaled_serials {
+            next_handle_serial = next_handle_serial.max(serial + 1);
+        }
+        inner.engine().resume_handle_serial_at(next_handle_serial);
+
+        if let Some(snapshot) = &snapshot {
+            // Released grants are pruned from the snapshot, so a plan's
+            // surviving sharer can sit *after* grants on younger deployments
+            // (deployer released, sharer kept). Replay in deployment order —
+            // stable, so grant order within a deployment is preserved — and
+            // each plan's first live grant re-mints its deployment id while
+            // the counter is still below it. The journal itself keeps the
+            // original grant order.
+            let mut by_deployment: Vec<&GrantRecord> = snapshot.grants.iter().collect();
+            by_deployment.sort_by_key(|g| g.deployment);
+            for grant in by_deployment {
+                Self::replay_grant(&inner, grant)?;
+            }
+            for grant in &snapshot.grants {
+                grants.insert(next_grant_key, grant.clone());
+                next_grant_key += 1;
+            }
+        }
+
+        for decoded in tail {
             match decoded {
                 Record::RegisterStream { name, schema } => {
                     inner.register_stream(&name, schema)?;
@@ -418,7 +479,8 @@ impl DurableServer {
                 Record::Grant(grant) => {
                     Self::replay_grant(&inner, &grant)?;
                     next_deployment_id = next_deployment_id.max(grant.deployment + 1);
-                    grants.insert(grant.deployment, grant);
+                    grants.insert(next_grant_key, grant);
+                    next_grant_key += 1;
                 }
                 Record::Release { subject, stream } => {
                     inner.release_access(&subject, &stream);
@@ -452,6 +514,7 @@ impl DurableServer {
         let next_audit_seq = audit.iter().map(|e| e.sequence + 1).max().unwrap_or(0);
         inner.restore_audit(audit);
         inner.engine().resume_ids_at(next_deployment_id);
+        inner.engine().resume_handle_serial_at(next_handle_serial);
 
         let wal = WalWriter::open(&wal_path, config.sync_writes)
             .map_err(|e| durability("open WAL", e))?;
@@ -464,7 +527,9 @@ impl DurableServer {
                 records_since_snapshot: report.wal_records_replayed as u64,
                 next_audit_seq,
                 grants,
+                next_grant_key,
                 next_deployment_id,
+                next_handle_serial,
                 scratch: String::new(),
                 failed: None,
             }),
@@ -487,24 +552,45 @@ impl DurableServer {
         }
     }
 
-    /// Re-execute one journaled grant. The engine's id counter is resumed at
-    /// the recorded deployment id first, so the workflow mints the *same*
-    /// deployment id and handle URI it did originally — verified, because a
-    /// divergence means the journal and the workflow disagree and the store
-    /// cannot be trusted.
+    /// Re-execute one journaled grant through the real workflow, adopting
+    /// the journaled handle URI verbatim ([`DataServer::restore_grant`]).
+    /// Serial arithmetic cannot reproduce the URI: released grants are
+    /// pruned from the journal, so the serials they consumed are invisible
+    /// to replay. The engine's deployment-id counter *is* resumed at the
+    /// recorded id first — replay visits deploying grants in minting order
+    /// (the WAL tail is chronological and snapshot grants are sorted by
+    /// deployment id), so the workflow re-mints the same ids, and a shared
+    /// grant's recorded id is the deployment its plan already rides — a
+    /// sharer simply cache-hits the live plan. Divergence on
+    /// either the URI or the deployment id means the journal and the
+    /// workflow disagree and the store cannot be trusted.
     fn replay_grant(inner: &DataServer, grant: &GrantRecord) -> Result<(), ExacmlError> {
         inner.engine().resume_ids_at(grant.deployment);
         let query = grant.query_xml.as_deref().map(UserQuery::from_xml).transpose()?;
+        let handle = StreamHandle::from_uri(grant.handle.clone());
         let response = inner
-            .handle_request(&Request::subscribe(&grant.subject, &grant.stream), query.as_ref())
+            .restore_grant(
+                &Request::subscribe(&grant.subject, &grant.stream),
+                query.as_ref(),
+                &handle,
+            )
             .map_err(|e| {
                 durability(&format!("replay grant {} on '{}'", grant.subject, grant.stream), e)
             })?;
-        if response.reused || response.handle.uri() != grant.handle {
+        if response.reused
+            || response.handle.uri() != grant.handle
+            || response.deployment.0 != grant.deployment
+        {
             return Err(ExacmlError::Durability(format!(
-                "journal replay diverged: grant for '{}' on '{}' re-minted {} (reused: {}), \
-                 journal says {}",
-                grant.subject, grant.stream, response.handle, response.reused, grant.handle
+                "journal replay diverged: grant for '{}' on '{}' re-minted {} on deployment {} \
+                 (reused: {}), journal says {} on deployment {}",
+                grant.subject,
+                grant.stream,
+                response.handle,
+                response.deployment.0,
+                response.reused,
+                grant.handle,
+                grant.deployment
             )));
         }
         Ok(())
@@ -542,8 +628,9 @@ impl DurableServer {
         self.inner.policy_count()
     }
 
-    /// The live grants, ascending by deployment id — exactly what the next
-    /// snapshot will carry and the next recovery will replay.
+    /// The live grants in grant order — exactly what the next snapshot will
+    /// carry and the next recovery will replay. Under plan sharing several
+    /// entries may carry the same deployment id.
     #[must_use]
     pub fn live_grants(&self) -> Vec<GrantRecord> {
         self.journal.lock().grants.values().cloned().collect()
@@ -662,6 +749,7 @@ impl DurableServer {
             wal_horizon: journal.next_seq,
             store_revision: self.inner.policy_store().revision(),
             next_deployment_id: journal.next_deployment_id,
+            next_handle_serial: journal.next_handle_serial,
             streams,
             policies: self
                 .inner
@@ -796,7 +884,12 @@ impl DurableServer {
                 };
                 self.append(&mut journal, &Record::Grant(grant.clone()))?;
                 journal.next_deployment_id = journal.next_deployment_id.max(grant.deployment + 1);
-                journal.grants.insert(grant.deployment, grant);
+                if let Some(serial) = response.handle.serial() {
+                    journal.next_handle_serial = journal.next_handle_serial.max(serial + 1);
+                }
+                let key = journal.next_grant_key;
+                journal.next_grant_key += 1;
+                journal.grants.insert(key, grant);
             }
         }
         self.journal_audit(&mut journal)?;
@@ -964,6 +1057,10 @@ impl Backend for DurableServer {
 
     fn live_deployments(&self) -> usize {
         self.inner.live_deployments()
+    }
+
+    fn live_plans(&self) -> usize {
+        self.inner.plan_count()
     }
 
     fn audit_events(&self) -> Vec<TaggedAuditEvent> {

@@ -48,12 +48,18 @@ pub struct Snapshot {
     /// One past the largest deployment id ever minted (so released handles
     /// are never re-issued after recovery).
     pub next_deployment_id: u64,
+    /// One past the largest handle serial ever journaled — including
+    /// grants released before this snapshot. Recovery adopts live grants'
+    /// URIs verbatim, so the serial counter must clear every serial that
+    /// was ever handed out or a fresh mint could resurrect a retired URI.
+    pub next_handle_serial: u64,
     /// Registered input streams, sorted by name.
     pub streams: Vec<StreamEntry>,
     /// Loaded policies in store order (first-applicable combining is order
     /// dependent), each as its XACML document.
     pub policies: Vec<String>,
-    /// Live grants, ascending by deployment id (replay order).
+    /// Live grants in grant order (replay order). Under plan sharing
+    /// several grants may carry the same deployment id.
     pub grants: Vec<GrantRecord>,
     /// The audit trail, verbatim.
     pub audit: Vec<AuditEvent>,
@@ -126,11 +132,19 @@ fn decode_snapshot(value: &Value) -> Result<Snapshot, String> {
         seq_of(value, "grants")?.iter().map(decode_grant).collect::<Result<Vec<_>, _>>()?;
     let audit =
         seq_of(value, "audit")?.iter().map(decode_audit_event).collect::<Result<Vec<_>, _>>()?;
+    let next_deployment_id = u64_of(value, "next_deployment_id")?;
+    // Stores written before plan sharing minted handle serials in lockstep
+    // with deployment ids, so their implied next serial is that counter.
+    let next_handle_serial = value
+        .get("next_handle_serial")
+        .and_then(Value::as_f64)
+        .map_or(next_deployment_id, |f| f as u64);
     Ok(Snapshot {
         version: u64_of(value, "version")?,
         wal_horizon: u64_of(value, "wal_horizon")?,
         store_revision: u64_of(value, "store_revision")?,
-        next_deployment_id: u64_of(value, "next_deployment_id")?,
+        next_deployment_id,
+        next_handle_serial,
         streams,
         policies,
         grants,
@@ -157,6 +171,7 @@ mod tests {
             wal_horizon: 42,
             store_revision: 7,
             next_deployment_id: 12,
+            next_handle_serial: 25,
             streams: vec![StreamEntry {
                 name: "weather".into(),
                 schema: Schema::weather_example(),
@@ -191,12 +206,25 @@ mod tests {
         assert_eq!(read.wal_horizon, snapshot.wal_horizon);
         assert_eq!(read.store_revision, snapshot.store_revision);
         assert_eq!(read.next_deployment_id, snapshot.next_deployment_id);
+        assert_eq!(read.next_handle_serial, snapshot.next_handle_serial);
         assert_eq!(read.streams, snapshot.streams);
         assert_eq!(read.policies, snapshot.policies);
         assert_eq!(read.grants, snapshot.grants);
         assert_eq!(read.audit, snapshot.audit);
         // No leftover temporary file.
         assert!(!path.with_extension("json.tmp").exists());
+    }
+
+    #[test]
+    fn old_snapshots_without_a_serial_counter_default_to_the_deployment_counter() {
+        // Stores written before plan sharing carry no next_handle_serial;
+        // their serials ran in lockstep with deployment ids.
+        let path = temp_snapshot("old");
+        let payload = r#"{"version":1,"wal_horizon":0,"store_revision":0,"next_deployment_id":9,"streams":[],"policies":[],"grants":[],"audit":[]}"#;
+        std::fs::write(&path, frame(payload)).unwrap();
+        let read = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(read.next_deployment_id, 9);
+        assert_eq!(read.next_handle_serial, 9);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! `<dyn Backend>::local()` / `<dyn Backend>::fabric(n)` shorthands.
 
 use exacml_durable::{DurableConfig, DurableServer, TopologyPreset};
-use exacml_plus::{Backend, DataServer, ExacmlError, Fabric, FabricConfig, ServerConfig};
+use exacml_plus::{
+    Backend, DataServer, ExacmlError, Fabric, FabricConfig, MergeOptions, ServerConfig,
+};
 use exacml_simnet::Topology;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -53,6 +55,8 @@ pub struct BackendBuilder {
     preset: TopologyPreset,
     seed: u64,
     deploy_on_partial_result: bool,
+    merge: MergeOptions,
+    share_plans: bool,
 }
 
 impl BackendBuilder {
@@ -63,6 +67,8 @@ impl BackendBuilder {
             preset,
             seed: 42,
             deploy_on_partial_result: false,
+            merge: MergeOptions::default(),
+            share_plans: true,
         }
     }
 
@@ -164,11 +170,50 @@ impl BackendBuilder {
         self
     }
 
+    /// How the PEP merges the policy graph with a user's customised query
+    /// (Section 3.1). The default is the *safe* combination:
+    ///
+    /// * **Projections — safe intersection vs literal union.** With
+    ///   `map_union: false` (default) merged map operators keep only the
+    ///   attributes *both* sides project — the user never sees an attribute
+    ///   the policy withheld, and asking for one raises a PR warning
+    ///   instead of leaking it. `map_union: true` applies the paper's
+    ///   literal `S3 = S1 ∪ S2` rule, which reproduces the paper's algebra
+    ///   verbatim but widens a projection past what one side declared —
+    ///   use it only for fidelity experiments, never where the policy's
+    ///   projection is the enforcement boundary.
+    /// * **Filters** are always conjoined (an intersection, inherently
+    ///   safe); `simplify_filters: false` keeps the raw concatenation the
+    ///   paper's baseline measures.
+    ///
+    /// Merge options shape the merged graph and therefore its canonical
+    /// signature: backends only share a compiled plan between grants whose
+    /// *merged* graphs agree, so the safety of plan sharing is independent
+    /// of the options chosen here.
+    #[must_use]
+    pub fn merge_options(mut self, merge: MergeOptions) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Share compiled operator subgraphs across overlapping grants
+    /// (default `true`): grants whose core graphs canonicalize identically
+    /// ride one deployment and each pays only a per-grant residual at
+    /// fan-out. `false` deploys one graph per grant — the unmerged
+    /// baseline the `merge_scale` benchmark measures against.
+    #[must_use]
+    pub fn share_plans(mut self, share: bool) -> Self {
+        self.share_plans = share;
+        self
+    }
+
     fn server_config(&self) -> ServerConfig {
         ServerConfig {
+            merge: self.merge,
             deploy_on_partial_result: self.deploy_on_partial_result,
             topology: self.topology.clone(),
             seed: self.seed,
+            share_plans: self.share_plans,
             ..ServerConfig::default()
         }
     }
@@ -178,6 +223,9 @@ impl BackendBuilder {
             topology: self.preset,
             deploy_on_partial_result: self.deploy_on_partial_result,
             seed: self.seed,
+            map_union: self.merge.map_union,
+            simplify_filters: self.merge.simplify_filters,
+            share_plans: self.share_plans,
             ..DurableConfig::default()
         }
     }
@@ -262,6 +310,40 @@ mod tests {
             .and_then(|_| recovered.handle_request(&Request::subscribe("LTA", "weather"), None));
         assert!(granted.is_ok());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_and_sharing_knobs_reach_every_shape() {
+        use exacml_plus::MergeOptions;
+        // share_plans(false): each overlapping grant deploys its own graph.
+        for builder in [BackendBuilder::local(), BackendBuilder::fabric(1)] {
+            let backend = builder
+                .merge_options(MergeOptions { map_union: false, simplify_filters: false })
+                .share_plans(false)
+                .build();
+            backend.register_stream("weather", Schema::weather_example()).unwrap();
+            backend
+                .load_policy(
+                    StreamPolicyBuilder::new("open", "weather").filter("rainrate > 5").build(),
+                )
+                .unwrap();
+            for subject in ["a", "b", "c"] {
+                backend.handle_request(&Request::subscribe(subject, "weather"), None).unwrap();
+            }
+            assert_eq!(backend.live_plans(), 3);
+            assert_eq!(backend.live_deployments(), 3);
+        }
+        // The default shares: same scenario, one compiled plan.
+        let shared = BackendBuilder::local().build();
+        shared.register_stream("weather", Schema::weather_example()).unwrap();
+        shared
+            .load_policy(StreamPolicyBuilder::new("open", "weather").filter("rainrate > 5").build())
+            .unwrap();
+        for subject in ["a", "b", "c"] {
+            shared.handle_request(&Request::subscribe(subject, "weather"), None).unwrap();
+        }
+        assert_eq!(shared.live_plans(), 1);
+        assert_eq!(shared.live_deployments(), 1);
     }
 
     #[test]

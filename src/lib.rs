@@ -82,13 +82,22 @@
 //! recommended way to *use* the system:
 //!
 //! * `ClientInterface::request_access(subject, stream, query)` →
-//!   [`Session::request_access`] (the session carries the subject);
+//!   [`Session::request_access`] (the session carries the subject) — or,
+//!   in one step with the subscription, `session.subscribe(Query::on(…))`;
+//! * hand-written `<Query>` XML documents → the typed [`Query`] builder
+//!   (`Query::on("weather").filter("rainrate > 30").select([…])`). Raw
+//!   wire-form XML is accepted only through [`Query::from_xml`]; every
+//!   other path is typed;
 //! * `ClientInterface::release(subject, stream)` → [`Session::release`]
 //!   (or just drop the session);
 //! * `server.subscribe(&handle)` / `fabric.subscribe(&handle)` →
-//!   [`Session::subscribe`] or `backend.subscribe(&handle)` through the
-//!   trait, both returning the unified
-//!   [`Subscription`](exacml_plus::Subscription);
+//!   [`Session::subscribe`] (any `impl Into<Query>`: a bare stream name
+//!   attaches to an existing grant, a structured [`Query`] requests and
+//!   attaches) returning a [`QuerySubscription`] that carries the shared
+//!   [plan id](exacml_plus::PlanId) and the NR/PR warnings on top of the
+//!   transport [`Subscription`](exacml_plus::Subscription) it derefs to —
+//!   or `backend.subscribe(&handle)` through the trait for the raw
+//!   transport;
 //! * `feed.pump_into(&engine, …)` / `feed.pump_into_fabric(&fabric, …)` →
 //!   one generic `feed.pump_into(&backend, …)` accepting any
 //!   [`StreamBackend`](exacml_plus::StreamBackend).
@@ -130,9 +139,11 @@ pub use exacml_workload;
 pub use exacml_xacml;
 
 pub mod builder;
+pub mod query;
 pub mod session;
 
 pub use builder::BackendBuilder;
+pub use query::{Query, QuerySubscription};
 pub use session::Session;
 
 /// Everything a scenario needs, importable in one line.
@@ -158,12 +169,14 @@ pub use session::Session;
 /// ```
 pub mod prelude {
     pub use crate::builder::BackendBuilder;
+    pub use crate::query::{Query, QuerySubscription};
     pub use crate::session::Session;
+    pub use exacml_dsms::{AggFunc, AggSpec, WindowSpec};
     pub use exacml_durable::{DurableConfig, DurableServer, RecoveryReport, TopologyPreset};
     pub use exacml_plus::{
         AccessControl, AccessResponse, Backend, BackendResponse, DataServer, ExacmlError, Fabric,
-        FabricConfig, PolicyAdmin, ServerConfig, StreamBackend, StreamPolicyBuilder, Subscription,
-        TaggedAuditEvent, UserQuery, Warning, WarningKind,
+        FabricConfig, MergeOptions, PlanId, PolicyAdmin, ServerConfig, StreamBackend,
+        StreamPolicyBuilder, Subscription, TaggedAuditEvent, UserQuery, Warning, WarningKind,
     };
     pub use exacml_simnet::{NodeId, Topology};
     pub use exacml_workload::{GpsFeed, WeatherFeed};

@@ -8,13 +8,23 @@
 //! handle's routing entry is pruned too), and works against **any**
 //! backend because it only speaks `dyn Backend`.
 
-use exacml_plus::{Backend, BackendResponse, ExacmlError, Subscription, UserQuery};
+use exacml_plus::{Backend, BackendResponse, ExacmlError, PlanId, UserQuery, Warning};
 use exacml_xacml::Request;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::query::QuerySubscription;
 use exacml_dsms::StreamHandle;
+
+/// What a session remembers about one of its grants: the handle plus the
+/// identity [`QuerySubscription`] exposes when re-attaching by bare name.
+#[derive(Debug, Clone)]
+struct Granted {
+    handle: StreamHandle,
+    plan: PlanId,
+    warnings: Vec<Warning>,
+}
 
 /// A data consumer's session against one backend.
 ///
@@ -40,8 +50,8 @@ use exacml_dsms::StreamHandle;
 pub struct Session {
     backend: Arc<dyn Backend>,
     subject: String,
-    /// Canonical (lowercased) stream name → the live handle granted on it.
-    grants: Mutex<HashMap<String, StreamHandle>>,
+    /// Canonical (lowercased) stream name → the live grant held on it.
+    grants: Mutex<HashMap<String, Granted>>,
 }
 
 impl Session {
@@ -104,28 +114,34 @@ impl Session {
     ) -> Result<BackendResponse, ExacmlError> {
         let request = Request::subscribe(&self.subject, stream);
         let response = self.backend.handle_request(&request, user_query)?;
-        self.grants.lock().insert(Session::canonical(stream), response.handle().clone());
+        self.grants.lock().insert(
+            Session::canonical(stream),
+            Granted {
+                handle: response.handle().clone(),
+                plan: response.response.plan,
+                warnings: response.response.warnings.clone(),
+            },
+        );
         Ok(response)
     }
 
     /// The live handle this session holds on a stream, if any.
     #[must_use]
     pub fn handle_for(&self, stream: &str) -> Option<StreamHandle> {
-        self.grants.lock().get(&Session::canonical(stream)).cloned()
+        self.grants.lock().get(&Session::canonical(stream)).map(|g| g.handle.clone())
     }
 
-    /// Subscribe to the derived tuples of the stream this session was
-    /// granted access to.
-    ///
-    /// # Errors
-    /// [`ExacmlError::UnknownHandle`] when the session holds no live grant
-    /// on the stream (never requested, released, or withdrawn by a policy
-    /// change).
-    pub fn subscribe(&self, stream: &str) -> Result<Subscription, ExacmlError> {
-        let handle = self
-            .handle_for(stream)
+    /// Attach to the grant this session already holds on `stream` (the
+    /// bare-name [`Session::subscribe`] shape — see `crate::query`).
+    pub(crate) fn attach(&self, stream: &str) -> Result<QuerySubscription, ExacmlError> {
+        let granted = self
+            .grants
+            .lock()
+            .get(&Session::canonical(stream))
+            .cloned()
             .ok_or_else(|| ExacmlError::UnknownHandle(format!("<no grant on '{stream}'>")))?;
-        self.backend.subscribe(&handle)
+        let inner = self.backend.subscribe(&granted.handle)?;
+        Ok(QuerySubscription::new(inner, granted.handle, granted.plan, granted.warnings))
     }
 
     /// Release the access this session holds on a stream. Returns `true`
@@ -156,8 +172,8 @@ impl Session {
         self.grants
             .lock()
             .values()
-            .filter(|handle| self.backend.handle_is_live(handle))
-            .cloned()
+            .filter(|granted| self.backend.handle_is_live(&granted.handle))
+            .map(|granted| granted.handle.clone())
             .collect()
     }
 }

@@ -259,6 +259,63 @@ fn audit_trail_is_node_tagged_on_every_shape() {
 }
 
 #[test]
+fn overlapping_subscribers_share_one_plan_on_every_shape() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        let schema = Schema::weather_example().shared();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend
+            .load_policy(StreamPolicyBuilder::new("open", "weather").filter("rainrate > 5").build())
+            .unwrap();
+
+        // N overlapping subscribers ride exactly one compiled plan.
+        let mut sessions = Vec::new();
+        let mut subscriptions = Vec::new();
+        let mut plans = std::collections::HashSet::new();
+        for i in 0..8 {
+            let session = Session::new(backend.clone(), format!("user{i}"));
+            let subscription = session.subscribe(Query::on("weather")).unwrap();
+            plans.insert(subscription.plan());
+            sessions.push(session);
+            subscriptions.push(subscription);
+        }
+        assert_eq!(plans.len(), 1, "{kind}");
+        assert_eq!(backend.live_plans(), 1, "{kind}");
+        assert_eq!(backend.live_deployments(), 1, "{kind}");
+
+        // Every subscriber sees the shared plan's full output.
+        backend
+            .push_batch("weather", (0..5).map(|k| weather_tuple(&schema, k, 9.0)).collect())
+            .unwrap();
+        for subscription in &mut subscriptions {
+            assert_eq!(subscription.drain().len(), 5, "{kind}");
+        }
+
+        // Sessions release refcounts on drop; the plan is withdrawn only
+        // when the *last* sharer leaves.
+        subscriptions.clear();
+        let last = sessions.pop().unwrap();
+        sessions.clear();
+        assert_eq!(backend.live_plans(), 1, "{kind}: one sharer still holds the plan");
+        drop(last);
+        assert_eq!(backend.live_plans(), 0, "{kind}");
+        assert_eq!(backend.live_deployments(), 0, "{kind}");
+
+        // A policy update invalidates the shared plan and re-merges fresh
+        // grants onto a new one.
+        let session = Session::new(backend.clone(), "user0");
+        let before = session.subscribe(Query::on("weather")).unwrap();
+        let updated = StreamPolicyBuilder::new("open", "weather").filter("rainrate > 50").build();
+        assert_eq!(backend.update_policy(updated).unwrap(), 1, "{kind}");
+        assert_eq!(backend.live_plans(), 0, "{kind}: the update withdrew the shared plan");
+        assert!(!backend.handle_is_live(before.handle()), "{kind}");
+        let after = session.subscribe(Query::on("weather")).unwrap();
+        assert_ne!(after.plan(), before.plan(), "{kind}: re-merge compiled a fresh plan");
+        assert_eq!(backend.live_plans(), 1, "{kind}");
+    }
+}
+
+#[test]
 fn policy_xml_round_trips_through_the_trait() {
     for backend in backends() {
         let kind = backend.backend_kind();

@@ -162,6 +162,119 @@ fn double_recovery_is_idempotent() {
     assert_eq!(second.inner().policy_store().revision(), first_state.4);
 }
 
+/// An open (subject-less) policy: any subject may subscribe, so multiple
+/// users land on the same merged graph and share one compiled plan.
+fn open_policy(id: &str, stream: &str, threshold: f64) -> Policy {
+    StreamPolicyBuilder::new(id, stream).filter(format!("rainrate > {threshold}")).build()
+}
+
+/// Overlapping grants ride one compiled plan; recovery must rebuild the
+/// same sharing topology from the journal — each distinct plan deploys
+/// once, every surviving grant keeps its exact journaled URI, and fresh
+/// serials never collide with any journaled one (released grants included).
+#[test]
+fn recovery_replays_overlapping_grants_into_shared_plans() {
+    let store = fresh_store("shared");
+    let schema = Schema::weather_example().shared();
+
+    let (released_uri, wind_uri, weather_uri) = {
+        let server = DurableServer::create(&store, DurableConfig::local()).unwrap();
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.register_stream("wind", Schema::weather_example()).unwrap();
+        server.load_policy(open_policy("open-weather", "weather", 5.0)).unwrap();
+        server.load_policy(open_policy("open-wind", "wind", 2.0)).unwrap();
+
+        let a = server.handle_request(&Request::subscribe("u0", "weather"), None).unwrap();
+        let b = server.handle_request(&Request::subscribe("u1", "wind"), None).unwrap();
+        let c = server.handle_request(&Request::subscribe("u2", "weather"), None).unwrap();
+        assert_eq!(c.response.plan, a.response.plan, "u2 rides u0's plan");
+        assert_eq!(server.inner().plan_count(), 2);
+        // u0 leaves: u2 is now the weather plan's only holder, and its
+        // journaled deployment id is *older* than u1's wind deployment.
+        assert!(server.release_access("u0", "weather"));
+        (a.handle().uri().to_string(), b.handle().uri().to_string(), c.handle().uri().to_string())
+        // ← crash with a sharer that did not deploy its own plan.
+    };
+
+    let recovered = DurableServer::recover(&store).unwrap();
+    assert_eq!(recovered.live_grants().len(), 2);
+    assert_eq!(recovered.inner().plan_count(), 2);
+    assert_eq!(recovered.inner().live_deployments(), 2);
+    let held = StreamHandle::from_uri(weather_uri.clone());
+    assert!(recovered.inner().handle_is_live(&held));
+    assert!(recovered.inner().handle_is_live(&StreamHandle::from_uri(wind_uri.clone())));
+    assert!(!recovered.inner().handle_is_live(&StreamHandle::from_uri(released_uri.clone())));
+
+    // The surviving sharer still receives data on its adopted handle.
+    let mut subscription = recovered.subscribe(&held).unwrap();
+    recovered
+        .push_batch("weather", (0..4).map(|i| weather_tuple(&schema, i, 9.0)).collect())
+        .unwrap();
+    assert_eq!(subscription.drain().len(), 4);
+
+    // A fresh subscriber joins the recovered plan without deploying a new
+    // graph, on a serial no journaled grant — even a released one — held.
+    let fresh = recovered.handle_request(&Request::subscribe("u3", "weather"), None).unwrap();
+    assert_eq!(recovered.inner().plan_count(), 2);
+    let fresh_uri = fresh.handle().uri().to_string();
+    assert!(![released_uri, wind_uri, weather_uri].contains(&fresh_uri));
+}
+
+/// The snapshot prunes released grants, so a plan's surviving sharer can
+/// carry a deployment id *older* than grants written before it. Recovery
+/// must still re-mint every deployment id exactly (regression: snapshot
+/// grants replay in deployment order, not grant order).
+#[test]
+fn snapshot_compaction_preserves_shared_plan_replay() {
+    let store = fresh_store("shared-snap");
+    let schema = Schema::weather_example().shared();
+
+    let (wind_uri, weather_uri, deployments_before) = {
+        let server = DurableServer::create(&store, DurableConfig::local()).unwrap();
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.register_stream("wind", Schema::weather_example()).unwrap();
+        server.load_policy(open_policy("open-weather", "weather", 5.0)).unwrap();
+        server.load_policy(open_policy("open-wind", "wind", 2.0)).unwrap();
+
+        let a = server.handle_request(&Request::subscribe("u0", "weather"), None).unwrap();
+        let b = server.handle_request(&Request::subscribe("u1", "wind"), None).unwrap();
+        let c = server.handle_request(&Request::subscribe("u2", "weather"), None).unwrap();
+        assert!(server.release_access("u0", "weather"));
+        // Compact: the snapshot's grant list is now [u1@wind, u2@weather]
+        // in grant order while their deployment ids are the other way round.
+        server.snapshot().unwrap();
+        assert!(a.response.deployment.0 < b.response.deployment.0);
+        (
+            b.handle().uri().to_string(),
+            c.handle().uri().to_string(),
+            vec![b.response.deployment.0, c.response.deployment.0],
+        )
+    };
+
+    let recovered = DurableServer::recover(&store).unwrap();
+    assert!(recovered.recovery_report().snapshot_loaded);
+    assert_eq!(recovered.inner().plan_count(), 2);
+    assert_eq!(recovered.inner().live_deployments(), 2);
+    let grants = recovered.live_grants();
+    assert_eq!(
+        grants.iter().map(|g| g.handle.clone()).collect::<Vec<_>>(),
+        vec![wind_uri, weather_uri.clone()],
+        "grant order and URIs survive compaction verbatim"
+    );
+    assert_eq!(
+        grants.iter().map(|g| g.deployment).collect::<Vec<_>>(),
+        deployments_before,
+        "replay re-minted the journaled deployment ids"
+    );
+
+    // Delivery still works on the sharer's adopted handle.
+    let mut subscription = recovered.subscribe(&StreamHandle::from_uri(weather_uri)).unwrap();
+    recovered
+        .push_batch("weather", (0..3).map(|i| weather_tuple(&schema, i, 8.0)).collect())
+        .unwrap();
+    assert_eq!(subscription.drain().len(), 3);
+}
+
 // ---------------------------------------------------------------------------
 // Replay equivalence: recover(journal(ops)) ≡ apply(ops) in memory
 // ---------------------------------------------------------------------------

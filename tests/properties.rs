@@ -266,6 +266,155 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Shared plans vs. per-subscriber deployments
+// ---------------------------------------------------------------------------
+
+mod plan_sharing_equivalence {
+    use super::*;
+    use exacml_dsms::{Schema, Tuple, Value};
+    use exacml_plus::{DataServer, ServerConfig, StreamPolicyBuilder, UserQuery};
+    use exacml_simnet::Topology;
+    use exacml_xacml::Request;
+    use std::sync::Arc;
+
+    const FILTER_ATTRS: [&str; 3] = ["rainrate", "windspeed", "temperature"];
+    const PROJECTIONS: [&[&str]; 3] = [
+        &["samplingtime", "rainrate"],
+        &["samplingtime", "rainrate", "windspeed"],
+        &["samplingtime", "windspeed", "temperature"],
+    ];
+
+    /// One subscriber's view of the stream. Optional picks are encoded as
+    /// `index == pool size` (the vendored proptest stand-in has no
+    /// `option::of`).
+    #[derive(Debug, Clone)]
+    struct SubscriberSpec {
+        /// `(attr, threshold)`; `attr == FILTER_ATTRS.len()` means no filter.
+        filter: (usize, u32),
+        /// Index into `PROJECTIONS`; `== len` means no projection.
+        projection: usize,
+        /// `(window, advance)` for `avg(rainrate)`; `window == 0` means no
+        /// aggregation.
+        window: (u64, u64),
+    }
+
+    impl SubscriberSpec {
+        fn to_query(&self) -> Option<UserQuery> {
+            let mut query = UserQuery::for_stream("weather");
+            let (attr, threshold) = self.filter;
+            if attr < FILTER_ATTRS.len() {
+                query = query.with_filter(format!("{} > {}", FILTER_ATTRS[attr], threshold));
+            }
+            if self.projection < PROJECTIONS.len() {
+                query = query.with_map(PROJECTIONS[self.projection].iter().copied());
+            }
+            let (window, advance) = self.window;
+            if window > 0 {
+                query = query.with_aggregation(
+                    WindowSpec::tuples(window, advance.clamp(1, window)),
+                    vec![AggSpec::new("rainrate", AggFunc::Avg)],
+                );
+            }
+            (!query.is_empty()).then_some(query)
+        }
+    }
+
+    fn arb_subscriber() -> impl Strategy<Value = SubscriberSpec> {
+        ((0usize..=FILTER_ATTRS.len(), 0u32..50), 0usize..=PROJECTIONS.len(), (0u64..6, 1u64..4))
+            .prop_map(|(filter, projection, window)| SubscriberSpec { filter, projection, window })
+    }
+
+    fn server(share_plans: bool) -> DataServer {
+        DataServer::new(ServerConfig {
+            share_plans,
+            deploy_on_partial_result: true,
+            topology: Topology::local(),
+            ..ServerConfig::default()
+        })
+    }
+
+    fn weather_tuple(schema: &Arc<Schema>, i: i64, rain: f64, wind: f64) -> Tuple {
+        Tuple::builder_shared(schema)
+            .set("samplingtime", Value::Timestamp(i * 1000))
+            .set("rainrate", rain)
+            .set("windspeed", wind)
+            .finish_with_defaults()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The tentpole's correctness property: for any set of overlapping
+        /// subscriber queries, a server that merges them onto shared
+        /// compiled plans delivers to every subscriber exactly what a
+        /// server deploying one graph per subscriber delivers — same
+        /// tuples, same order — while compiling at most as many plans.
+        #[test]
+        fn merged_delivery_equals_per_subscriber_deployment(
+            subs in proptest::collection::vec(arb_subscriber(), 1..6),
+            policy_threshold in 0u32..20,
+            rows in proptest::collection::vec((0u32..60, 0u32..60), 0..30),
+        ) {
+            let merged = server(true);
+            let unmerged = server(false);
+            let schema = Schema::weather_example().shared();
+            for backend in [&merged, &unmerged] {
+                backend.register_stream("weather", Schema::weather_example()).unwrap();
+                backend
+                    .load_policy(
+                        StreamPolicyBuilder::new("open", "weather")
+                            .filter(format!("rainrate > {policy_threshold}"))
+                            .build(),
+                    )
+                    .unwrap();
+            }
+
+            // Subscribe every spec on both servers; admission must agree.
+            let mut receivers = Vec::new();
+            for (i, spec) in subs.iter().enumerate() {
+                let request = Request::subscribe(&format!("user{i}"), "weather");
+                let query = spec.to_query();
+                let on_merged = merged.handle_request(&request, query.as_ref());
+                let on_unmerged = unmerged.handle_request(&request, query.as_ref());
+                prop_assert_eq!(
+                    on_merged.is_ok(), on_unmerged.is_ok(),
+                    "admission diverged for {:?}", spec
+                );
+                if let (Ok(a), Ok(b)) = (on_merged, on_unmerged) {
+                    receivers.push((
+                        i,
+                        merged.subscribe(&a.handle).unwrap(),
+                        unmerged.subscribe(&b.handle).unwrap(),
+                    ));
+                }
+            }
+            // Sharing never compiles more plans than one-per-subscriber.
+            prop_assert!(merged.plan_count() <= unmerged.plan_count());
+            prop_assert_eq!(unmerged.plan_count(), receivers.len());
+
+            let batch: Vec<Tuple> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, (rain, wind))| {
+                    weather_tuple(&schema, i as i64, f64::from(*rain), f64::from(*wind))
+                })
+                .collect();
+            merged.push_batch("weather", batch.clone()).unwrap();
+            unmerged.push_batch("weather", batch).unwrap();
+
+            for (i, shared_rx, solo_rx) in receivers {
+                let via_shared: Vec<Tuple> = shared_rx.try_iter().collect();
+                let via_solo: Vec<Tuple> = solo_rx.try_iter().collect();
+                prop_assert_eq!(
+                    via_shared, via_solo,
+                    "subscriber {} ({:?}) saw different tuples", i, subs[i]
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Indexed PDP vs. linear-scan reference
 // ---------------------------------------------------------------------------
 
