@@ -127,17 +127,31 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
             metrics.push((key.to_string(), value));
         }
     }
+    // The fault-tolerance metrics (PR 7), present when the report is a
+    // `failover_scale` one. `failover_recovery` is also held to the
+    // absolute 1.0 floor below — the zero-acknowledged-grant-loss pin.
+    for key in ["failover_recovery", "replicated_ingest_vs_durable"] {
+        if let Some(value) = report.get(key).and_then(Value::as_f64) {
+            metrics.push((key.to_string(), value));
+        }
+    }
     metrics
 }
 
 /// Absolute floors: ratios that must hold on *every* machine, not merely
 /// stay close to the committed baseline. WAL-on ingest must keep at least
 /// half of direct ingest throughput (the "≤ 2× durability overhead" pin),
-/// and a merged plan serving 100 overlapping subscribers must keep at
-/// least a third of single-subscriber throughput (the "≤ 3× per-tuple
-/// cost at 100 subscribers" pin from the plan-sharing PR).
-const ABSOLUTE_FLOORS: [(&str, f64); 2] =
-    [("ingest_durable_vs_direct", 0.5), ("merged_retention_at_100", 1.0 / 3.0)];
+/// a merged plan serving 100 overlapping subscribers must keep at least a
+/// third of single-subscriber throughput (the "≤ 3× per-tuple cost at 100
+/// subscribers" pin from the plan-sharing PR), and owner failover must
+/// recover **every** grant the dead host owned (the zero-acknowledged-
+/// grant-loss pin from the replication PR — 1.0 is the contract, not a
+/// target).
+const ABSOLUTE_FLOORS: [(&str, f64); 3] = [
+    ("ingest_durable_vs_direct", 0.5),
+    ("merged_retention_at_100", 1.0 / 3.0),
+    ("failover_recovery", 1.0),
+];
 
 fn main() -> ExitCode {
     let options = parse_args();

@@ -31,6 +31,7 @@
 use crate::audit::AuditEvent;
 use crate::error::ExacmlError;
 use crate::fabric::{Fabric, FabricConfig, FabricSubscription};
+use crate::metrics::RobustnessStats;
 use crate::server::{AccessResponse, DataServer, ServerConfig};
 use crate::user_query::UserQuery;
 use exacml_dsms::{DsmsError, Schema, StreamEngine, StreamHandle, Tuple};
@@ -82,6 +83,48 @@ pub struct TaggedAuditEvent {
     pub node: NodeId,
     /// The record itself.
     pub event: AuditEvent,
+}
+
+/// A point-in-time health report for a backend, surfaced through
+/// [`Backend::health`] so callers observe degradation *before* a mutation
+/// fails — a sticky journal failure, replication falling behind, or dead
+/// fabric nodes used to be discoverable only by tripping over the resulting
+/// errors.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct BackendHealth {
+    /// Nodes the backend currently cannot serve from: declared dead,
+    /// crashed and awaiting failover, or behind an active fault window.
+    /// Empty on a healthy backend; always empty on a single server (its
+    /// one node answering at all is what produced this report).
+    pub degraded_nodes: Vec<NodeId>,
+    /// The sticky journal failure, when the durability layer has refused
+    /// further mutations (`None` when journaling is healthy or absent).
+    /// On a replicated fabric, the first failed node's journal error.
+    pub journal_failure: Option<String>,
+    /// Journal records appended locally but not yet acknowledged by every
+    /// replication peer (0 without replication).
+    pub replication_lag_records: u64,
+    /// Fault-tolerance counters: failovers, re-minted handles, replication
+    /// batch acks/retries, broker retries.
+    pub robustness: RobustnessStats,
+}
+
+impl BackendHealth {
+    /// A report with nothing wrong (what non-durable single-node backends
+    /// always answer).
+    #[must_use]
+    pub fn healthy() -> Self {
+        BackendHealth::default()
+    }
+
+    /// Whether anything in the report needs operator attention: a degraded
+    /// node, a sticky journal failure, or replication lag.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_nodes.is_empty()
+            || self.journal_failure.is_some()
+            || self.replication_lag_records > 0
+    }
 }
 
 /// A subscription to a granted handle, independent of the backend shape.
@@ -250,6 +293,15 @@ pub trait Backend: StreamBackend + AccessControl + PolicyAdmin {
 
     /// Audit events involving one subject.
     fn audit_events_for_subject(&self, subject: &str) -> Vec<TaggedAuditEvent>;
+
+    /// A point-in-time health report: degraded nodes, sticky journal
+    /// failures, replication lag and the fault-tolerance counters. The
+    /// default implementation reports a perfectly healthy backend, which is
+    /// correct for the in-memory single-node shapes; backends with a
+    /// durability or replication story override it.
+    fn health(&self) -> BackendHealth {
+        BackendHealth::healthy()
+    }
 }
 
 /// Quick constructors so a backend swap is one line:
@@ -457,6 +509,15 @@ impl Backend for Fabric {
 
     fn audit_events_for_subject(&self, subject: &str) -> Vec<TaggedAuditEvent> {
         Fabric::audit_events_for_subject(self, subject)
+    }
+
+    fn health(&self) -> BackendHealth {
+        BackendHealth {
+            degraded_nodes: self.degraded_nodes(),
+            journal_failure: None,
+            replication_lag_records: 0,
+            robustness: self.robustness(),
+        }
     }
 }
 

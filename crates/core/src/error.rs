@@ -37,6 +37,16 @@ pub enum ExacmlError {
     /// written, or a persisted store could not be read back into a
     /// consistent server state.
     Durability(String),
+    /// A fabric node could not be reached: it is declared dead, crashed, or
+    /// sits behind a dropped link / partition, and the broker exhausted its
+    /// retry budget. The variant replaces what used to be a panic or a
+    /// silent drop on the broker→node hop.
+    NodeUnavailable {
+        /// The unreachable node, in display form (e.g. `server-2`).
+        node: String,
+        /// Why the broker gave up (dead, partitioned, retries exhausted…).
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExacmlError {
@@ -69,6 +79,9 @@ impl fmt::Display for ExacmlError {
             ExacmlError::Xacml(e) => write!(f, "XACML error: {e}"),
             ExacmlError::UnknownHandle(uri) => write!(f, "unknown stream handle '{uri}'"),
             ExacmlError::Durability(detail) => write!(f, "durability error: {detail}"),
+            ExacmlError::NodeUnavailable { node, detail } => {
+                write!(f, "fabric node '{node}' is unavailable: {detail}")
+            }
         }
     }
 }

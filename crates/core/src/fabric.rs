@@ -27,19 +27,53 @@
 
 use crate::backend::{BackendResponse, TaggedAuditEvent};
 use crate::error::ExacmlError;
+use crate::metrics::RobustnessStats;
 use crate::server::{DataServer, ServerConfig};
 use crate::user_query::UserQuery;
 use exacml_dsms::{Schema, StreamHandle, Tuple};
-use exacml_simnet::{Clock, LinkSpec, ManualClock, NodeId, SimLink, Topology};
+use exacml_simnet::{Clock, FaultPlan, LinkSpec, ManualClock, NodeId, SimLink, Topology};
 use exacml_xacml::{Policy, Request};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How the broker treats an unreachable node before giving up with
+/// [`ExacmlError::NodeUnavailable`]: up to `max_attempts` tries, the gap
+/// between consecutive tries doubling from `backoff` — all in *virtual*
+/// time, so a transient fault window (a dropped link that heals) degrades
+/// to a retried hop rather than an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included) before the hop fails.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries at all: the first unreachable probe is final.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+    }
+
+    /// The virtual time consumed when every attempt fails.
+    #[must_use]
+    pub fn worst_case_delay(&self) -> Duration {
+        (0..self.max_attempts.saturating_sub(1)).map(|i| self.backoff * 2u32.pow(i)).sum()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff: Duration::from_millis(2) }
+    }
+}
 
 /// Configuration of the brokering fabric.
 #[derive(Debug, Clone)]
@@ -55,6 +89,12 @@ pub struct FabricConfig {
     /// Per-node server configuration template (`topology`, `seed` and
     /// `dsms_host` are overridden per node).
     pub server_template: ServerConfig,
+    /// Injected-fault schedule consulted (against the fabric's virtual
+    /// clock) before every broker→node hop. `None` means a fault-free
+    /// network.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Retry/backoff policy for broker→node hops that hit an active fault.
+    pub retry: RetryPolicy,
 }
 
 impl FabricConfig {
@@ -66,6 +106,8 @@ impl FabricConfig {
             topology,
             seed: 42,
             server_template: ServerConfig::default(),
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -101,12 +143,28 @@ impl FabricConfig {
         self.server_template = template;
         self
     }
+
+    /// Install an injected-fault schedule (consulted before every
+    /// broker→node hop against the fabric's virtual clock).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the broker→node retry/backoff policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 /// One data-server node of the fabric.
 pub struct FabricNode {
     id: NodeId,
     server: Arc<DataServer>,
+    alive: AtomicBool,
     requests_routed: AtomicU64,
     tuples_routed: AtomicU64,
 }
@@ -134,6 +192,15 @@ impl FabricNode {
     #[must_use]
     pub fn tuples_routed(&self) -> u64 {
         self.tuples_routed.load(Ordering::Relaxed)
+    }
+
+    /// Whether the broker currently considers this node alive. Dead nodes
+    /// reject every routed operation with
+    /// [`ExacmlError::NodeUnavailable`] until
+    /// [`Fabric::restart_node`] brings them back.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
     }
 }
 
@@ -173,6 +240,21 @@ pub struct FabricSubscription {
 }
 
 impl FabricSubscription {
+    /// Assemble a subscription from its transport parts: the node-local
+    /// delivery channel, the node → subscriber [`SimLink`] and the shared
+    /// virtual clock. Used by brokers living outside this crate (the
+    /// replicated durable fabric) so their subscribers get the same
+    /// latency-ordered, FIFO-per-link delivery semantics.
+    #[must_use]
+    pub fn attach(
+        node: NodeId,
+        rx: crossbeam::channel::Receiver<Tuple>,
+        link: SimLink<(u64, Tuple)>,
+        clock: ManualClock,
+    ) -> Self {
+        FabricSubscription { node, rx, link, clock, delivered: 0 }
+    }
+
     /// The node the subscribed stream lives on.
     #[must_use]
     pub fn node(&self) -> NodeId {
@@ -273,6 +355,7 @@ pub struct Fabric {
     next_link_seed: AtomicU64,
     streams_placed: AtomicU64,
     policy_propagations: AtomicU64,
+    broker_retries: AtomicU64,
 }
 
 impl Fabric {
@@ -292,6 +375,7 @@ impl Fabric {
                 FabricNode {
                     id: NodeId::Server(i as u16),
                     server: Arc::new(DataServer::new(node_config)),
+                    alive: AtomicBool::new(true),
                     requests_routed: AtomicU64::new(0),
                     tuples_routed: AtomicU64::new(0),
                 }
@@ -307,6 +391,7 @@ impl Fabric {
             next_link_seed: AtomicU64::new(config.seed.wrapping_add(0xf00d)),
             streams_placed: AtomicU64::new(0),
             policy_propagations: AtomicU64::new(0),
+            broker_retries: AtomicU64::new(0),
             config,
         }
     }
@@ -365,9 +450,7 @@ impl Fabric {
         if let Some(&index) = self.placements.read().get(&canonical) {
             return index;
         }
-        (0..self.nodes.len())
-            .max_by_key(|&i| rendezvous_weight(&canonical, i))
-            .expect("a fabric has at least one node")
+        rendezvous_owner(&canonical, self.nodes.len())
     }
 
     fn node_for_stream(&self, stream: &str) -> &FabricNode {
@@ -384,7 +467,8 @@ impl Fabric {
         Ok(&self.nodes[index])
     }
 
-    /// Sample the simulated broker → node → broker round trip.
+    /// Sample the simulated broker → node → broker round trip. Active
+    /// latency spikes from the fault plan multiply the sampled delay.
     fn broker_round_trip(
         &self,
         node: NodeId,
@@ -392,13 +476,119 @@ impl Fabric {
         reply_bytes: usize,
     ) -> Duration {
         let mut rng = self.rng.lock();
-        self.config.topology.round_trip(
+        let sampled = self.config.topology.round_trip(
             NodeId::DataServer,
             node,
             request_bytes,
             reply_bytes,
             &mut *rng,
-        )
+        );
+        match &self.config.fault_plan {
+            Some(plan) => {
+                let factor = plan.latency_factor(NodeId::DataServer, node, self.clock.now_nanos());
+                sampled.mul_f64(factor.max(0.0))
+            }
+            None => sampled,
+        }
+    }
+
+    // --- liveness + fault handling ------------------------------------------
+
+    /// Declare a node dead. Every subsequent broker→node operation targeting
+    /// it fails with [`ExacmlError::NodeUnavailable`] instead of silently
+    /// touching state the rest of the system believes unreachable. The
+    /// node's in-memory state survives (the plain fabric has no journal to
+    /// rebuild it from); [`Fabric::restart_node`] makes the node answer
+    /// again — state-replaying failover is the replicated durable fabric's
+    /// job.
+    pub fn kill_node(&self, index: usize) {
+        if let Some(node) = self.nodes.get(index) {
+            node.alive.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Bring a dead node back.
+    pub fn restart_node(&self, index: usize) {
+        if let Some(node) = self.nodes.get(index) {
+            node.alive.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// The nodes the broker currently cannot reach: declared dead, or
+    /// covered by an active fault-plan window at the current virtual time.
+    #[must_use]
+    pub fn degraded_nodes(&self) -> Vec<NodeId> {
+        let now = self.clock.now_nanos();
+        self.nodes
+            .iter()
+            .filter(|node| {
+                !node.is_alive()
+                    || self
+                        .config
+                        .fault_plan
+                        .as_ref()
+                        .is_some_and(|plan| plan.link_down(NodeId::DataServer, node.id, now))
+            })
+            .map(|node| node.id)
+            .collect()
+    }
+
+    /// Fault-tolerance counters (broker retries; the plain fabric neither
+    /// replicates nor fails over, so those counters stay zero here).
+    #[must_use]
+    pub fn robustness(&self) -> RobustnessStats {
+        RobustnessStats {
+            broker_retries: self.broker_retries.load(Ordering::Relaxed),
+            ..RobustnessStats::default()
+        }
+    }
+
+    /// Probe the broker→node hop before routing an operation: a dead node
+    /// fails immediately; an active link fault is retried with exponential
+    /// backoff *in virtual time* (so a transient window the retry outlives
+    /// degrades to a slower hop, not an error) up to the configured attempt
+    /// budget.
+    fn ensure_reachable(&self, index: usize) -> Result<(), ExacmlError> {
+        let node = &self.nodes[index];
+        if !node.is_alive() {
+            return Err(ExacmlError::NodeUnavailable {
+                node: node.id.to_string(),
+                detail: "node is declared dead".into(),
+            });
+        }
+        let Some(plan) = &self.config.fault_plan else { return Ok(()) };
+        let retry = self.config.retry;
+        let mut attempt: u32 = 0;
+        loop {
+            if !plan.link_down(NodeId::DataServer, node.id, self.clock.now_nanos()) {
+                if attempt > 0 {
+                    self.broker_retries.fetch_add(u64::from(attempt), Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt >= retry.max_attempts.max(1) {
+                self.broker_retries.fetch_add(u64::from(attempt - 1), Ordering::Relaxed);
+                return Err(ExacmlError::NodeUnavailable {
+                    node: node.id.to_string(),
+                    detail: format!(
+                        "broker hop still faulted after {attempt} attempt(s) over {:?}",
+                        retry.worst_case_delay()
+                    ),
+                });
+            }
+            self.clock.advance(retry.backoff * 2u32.pow(attempt - 1));
+        }
+    }
+
+    /// Probe every node before a fabric-wide operation (policy
+    /// propagation), so a fan-out either reaches all nodes or fails typed
+    /// before mutating any of them.
+    fn ensure_all_reachable(&self) -> Result<(), ExacmlError> {
+        for index in 0..self.nodes.len() {
+            self.ensure_reachable(index)?;
+        }
+        Ok(())
     }
 
     // --- stream + data plane ----------------------------------------------
@@ -406,9 +596,11 @@ impl Fabric {
     /// Register an input stream on its owning node.
     ///
     /// # Errors
-    /// Fails when the name is taken on the owner or the schema invalid.
+    /// Fails when the name is taken on the owner, the schema invalid, or
+    /// the owner node unreachable ([`ExacmlError::NodeUnavailable`]).
     pub fn register_stream(&self, name: &str, schema: Schema) -> Result<NodeId, ExacmlError> {
         let index = self.owner_index(name);
+        self.ensure_reachable(index)?;
         self.nodes[index].server.register_stream(name, schema)?;
         self.placements.write().insert(name.to_ascii_lowercase(), index);
         self.streams_placed.fetch_add(1, Ordering::Relaxed);
@@ -418,8 +610,11 @@ impl Fabric {
     /// Push one source tuple to the stream's owner node.
     ///
     /// # Errors
-    /// Fails when the stream is unknown on its owner or the tuple malformed.
+    /// Fails when the stream is unknown on its owner, the tuple malformed,
+    /// or the owner node unreachable ([`ExacmlError::NodeUnavailable`]) —
+    /// ingest to a dead node is a typed error, never a silent drop.
     pub fn push(&self, stream: &str, tuple: Tuple) -> Result<usize, ExacmlError> {
+        self.ensure_reachable(self.owner_index(stream))?;
         let node = self.node_for_stream(stream);
         let emitted = node.server.push(stream, tuple)?;
         node.tuples_routed.fetch_add(1, Ordering::Relaxed);
@@ -429,12 +624,14 @@ impl Fabric {
     /// Push a batch of source tuples to the stream's owner node.
     ///
     /// # Errors
-    /// Fails when the stream is unknown on its owner or any tuple malformed.
+    /// Fails when the stream is unknown on its owner, any tuple malformed,
+    /// or the owner node unreachable ([`ExacmlError::NodeUnavailable`]).
     pub fn push_batch(
         &self,
         stream: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, ExacmlError> {
+        self.ensure_reachable(self.owner_index(stream))?;
         let batch: Vec<Tuple> = tuples.into_iter().collect();
         let count = batch.len() as u64;
         let node = self.node_for_stream(stream);
@@ -460,6 +657,7 @@ impl Fabric {
             .resource_id()
             .ok_or_else(|| ExacmlError::IncompleteRequest("missing resource-id".into()))?;
         let index = self.owner_index(stream);
+        self.ensure_reachable(index)?;
         let node = &self.nodes[index];
         let request_bytes = exacml_xacml::xml::write_request(request).len()
             + user_query.map_or(0, |q| q.to_xml().len());
@@ -472,8 +670,14 @@ impl Fabric {
 
     /// Release the access a subject holds on a stream at its owner node.
     /// Returns `true` when something was released (unknown pairs and double
-    /// releases are no-ops, exactly as on a single server).
+    /// releases are no-ops, exactly as on a single server). An unreachable
+    /// owner also answers `false` — the trait signature carries no error
+    /// channel, and "nothing was released" is the truthful report; the
+    /// grant stays held until the node returns.
     pub fn release_access(&self, subject: &str, stream: &str) -> bool {
+        if self.ensure_reachable(self.owner_index(stream)).is_err() {
+            return false;
+        }
         let released = self.node_for_stream(stream).server.release_access(subject, stream);
         if released {
             self.prune_dead_handles();
@@ -490,10 +694,12 @@ impl Fabric {
     }
 
     /// Whether a granted handle still points at a live deployment on its
-    /// node. Unknown handles are simply not live.
+    /// node. Unknown handles are simply not live, and neither is anything
+    /// on a node declared dead (its deployments are unreachable).
     #[must_use]
     pub fn handle_is_live(&self, handle: &StreamHandle) -> bool {
-        self.node_for_handle(handle).is_ok_and(|node| node.server.handle_is_live(handle))
+        self.node_for_handle(handle)
+            .is_ok_and(|node| node.is_alive() && node.server.handle_is_live(handle))
     }
 
     /// Subscribe to a granted handle. Deliveries travel the node → broker
@@ -501,10 +707,15 @@ impl Fabric {
     /// fabric's virtual clock.
     ///
     /// # Errors
-    /// Fails when the handle was not granted through this fabric or the
-    /// deployment behind it is gone.
+    /// Fails when the handle was not granted through this fabric, the
+    /// deployment behind it is gone, or the owning node is unreachable
+    /// ([`ExacmlError::NodeUnavailable`]).
     pub fn subscribe(&self, handle: &StreamHandle) -> Result<FabricSubscription, ExacmlError> {
         let node = self.node_for_handle(handle)?;
+        let NodeId::Server(index) = node.id else {
+            return Err(ExacmlError::UnknownHandle(handle.uri().to_string()));
+        };
+        self.ensure_reachable(index as usize)?;
         let rx = match node.server.subscribe(handle) {
             Ok(rx) => rx,
             Err(error) => {
@@ -538,7 +749,11 @@ impl Fabric {
     /// # Errors
     /// Fails if any node rejects the policy; earlier nodes keep it (the
     /// caller can retry — ids make the operation idempotent per node).
+    /// Fails with [`ExacmlError::NodeUnavailable`] — before touching *any*
+    /// node — when a node is unreachable, so propagation is never silently
+    /// partial.
     pub fn load_policy(&self, policy: Policy) -> Result<Duration, ExacmlError> {
+        self.ensure_all_reachable()?;
         let mut slowest = Duration::ZERO;
         for node in &self.nodes {
             let elapsed = node.server.load_policy(policy.clone())?;
@@ -554,8 +769,11 @@ impl Fabric {
     ///
     /// # Errors
     /// Fails when the policy is unknown (on the first node — propagation is
-    /// all-or-nothing for a policy that was loaded through the broker).
+    /// all-or-nothing for a policy that was loaded through the broker), or
+    /// with [`ExacmlError::NodeUnavailable`] before touching any node when
+    /// one is unreachable.
     pub fn remove_policy(&self, policy_id: &str) -> Result<usize, ExacmlError> {
+        self.ensure_all_reachable()?;
         let mut withdrawn = 0;
         for node in &self.nodes {
             withdrawn += node.server.remove_policy(policy_id)?;
@@ -572,8 +790,11 @@ impl Fabric {
     /// the total number of withdrawn deployments.
     ///
     /// # Errors
-    /// Fails when the policy is unknown or the new version invalid.
+    /// Fails when the policy is unknown, the new version invalid, or —
+    /// before touching any node — a node is unreachable
+    /// ([`ExacmlError::NodeUnavailable`]).
     pub fn update_policy(&self, policy: Policy) -> Result<usize, ExacmlError> {
+        self.ensure_all_reachable()?;
         let mut withdrawn = 0;
         for node in &self.nodes {
             withdrawn += node.server.update_policy(policy.clone())?;
@@ -660,6 +881,19 @@ impl Fabric {
     pub fn routed_handles(&self) -> usize {
         self.handles.read().len()
     }
+}
+
+/// The rendezvous-hash (highest-random-weight) owner of `stream` among
+/// `nodes` nodes: the index whose FNV-1a weight over `(stream, index)` is
+/// highest. Case-insensitive over the stream name, deterministic, and
+/// shared with the replicated durable fabric so both brokers agree on
+/// ownership for the same node count.
+#[must_use]
+pub fn rendezvous_owner(stream: &str, nodes: usize) -> usize {
+    let canonical = stream.to_ascii_lowercase();
+    (0..nodes.max(1))
+        .max_by_key(|&i| rendezvous_weight(&canonical, i))
+        .expect("at least one node participates")
 }
 
 /// FNV-1a over the stream name and node index — the per-node weight of
@@ -888,6 +1122,125 @@ mod tests {
             fabric.handle_request(&incomplete, None),
             Err(ExacmlError::IncompleteRequest(_))
         ));
+    }
+
+    #[test]
+    fn dead_nodes_answer_with_typed_errors_until_restarted() {
+        let fabric = Fabric::new(FabricConfig::local(2));
+        fabric.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build();
+        fabric.load_policy(policy).unwrap();
+        let granted = fabric.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let NodeId::Server(owner) = fabric.owner_of("weather") else { panic!("server owner") };
+
+        fabric.kill_node(owner as usize);
+        assert_eq!(fabric.degraded_nodes(), vec![NodeId::Server(owner)]);
+        let schema = Schema::weather_example().shared();
+        // Every broker path reports the typed error instead of panicking or
+        // silently dropping.
+        assert!(matches!(
+            fabric.push("weather", weather_tuple(&schema, 0, 9.0)),
+            Err(ExacmlError::NodeUnavailable { .. })
+        ));
+        assert!(matches!(
+            fabric.push_batch("weather", vec![weather_tuple(&schema, 0, 9.0)]),
+            Err(ExacmlError::NodeUnavailable { .. })
+        ));
+        assert!(matches!(
+            fabric.handle_request(&Request::subscribe("LTA", "weather"), None),
+            Err(ExacmlError::NodeUnavailable { .. })
+        ));
+        assert!(matches!(
+            fabric.subscribe(&granted.response.handle),
+            Err(ExacmlError::NodeUnavailable { .. })
+        ));
+        // Policy fan-out refuses before mutating any node.
+        let p2 =
+            StreamPolicyBuilder::new("p2", "weather").subject("EMA").filter("rainrate > 1").build();
+        assert!(matches!(fabric.load_policy(p2), Err(ExacmlError::NodeUnavailable { .. })));
+        for node in fabric.nodes() {
+            assert_eq!(node.server().policy_count(), 1, "partial propagation");
+        }
+        // Release has no error channel: nothing is released, grant survives.
+        assert!(!fabric.release_access("LTA", "weather"));
+        assert!(!fabric.handle_is_live(&granted.response.handle));
+
+        fabric.restart_node(owner as usize);
+        assert!(fabric.degraded_nodes().is_empty());
+        assert!(fabric.handle_is_live(&granted.response.handle));
+        assert!(fabric.release_access("LTA", "weather"));
+    }
+
+    #[test]
+    fn transient_link_faults_degrade_to_retries() {
+        use exacml_simnet::{Fault, FaultPlan};
+        // The link to every server node drops during [0, 3ms); the default
+        // retry policy backs off 2ms + 4ms, outliving the window.
+        let plan = FaultPlan::new()
+            .inject(
+                Fault::NodeDown { node: NodeId::Server(0) },
+                Duration::ZERO,
+                Duration::from_millis(3),
+            )
+            .inject(
+                Fault::NodeDown { node: NodeId::Server(1) },
+                Duration::ZERO,
+                Duration::from_millis(3),
+            );
+        let config = FabricConfig::local(2).with_fault_plan(Arc::new(plan));
+        let fabric = Fabric::new(config);
+        fabric.register_stream("weather", Schema::weather_example()).unwrap();
+        assert!(fabric.robustness().broker_retries > 0);
+        assert!(fabric.clock().now_nanos() >= 3_000_000, "retries consumed virtual time");
+
+        // A permanent fault exhausts the budget and reports typed failure.
+        let forever = FaultPlan::new()
+            .inject_forever(Fault::NodeDown { node: NodeId::Server(0) }, Duration::ZERO)
+            .inject_forever(Fault::NodeDown { node: NodeId::Server(1) }, Duration::ZERO);
+        let fabric = Fabric::new(FabricConfig::local(2).with_fault_plan(Arc::new(forever)));
+        assert!(matches!(
+            fabric.register_stream("weather", Schema::weather_example()),
+            Err(ExacmlError::NodeUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn latency_spikes_inflate_the_broker_hop() {
+        use exacml_simnet::{Fault, FaultPlan};
+        let spike = FaultPlan::new().inject_forever(
+            Fault::LatencySpike { a: NodeId::DataServer, b: NodeId::Server(0), factor: 50.0 },
+            Duration::ZERO,
+        );
+        let slow = Fabric::new(
+            FabricConfig::new(1, Topology::uniform(LinkSpec::constant(300.0, 100.0)))
+                .with_fault_plan(Arc::new(spike)),
+        );
+        let fast =
+            Fabric::new(FabricConfig::new(1, Topology::uniform(LinkSpec::constant(300.0, 100.0))));
+        for fabric in [&slow, &fast] {
+            fabric.register_stream("weather", Schema::weather_example()).unwrap();
+            fabric
+                .load_policy(
+                    StreamPolicyBuilder::new("p", "weather")
+                        .subject("LTA")
+                        .filter("rainrate > 5")
+                        .build(),
+                )
+                .unwrap();
+        }
+        let spiked = slow.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let normal = fast.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(spiked.broker_network > normal.broker_network * 10);
+    }
+
+    #[test]
+    fn rendezvous_owner_matches_fabric_placement() {
+        let fabric = Fabric::new(FabricConfig::local(5));
+        for name in ["weather", "gps", "STREAM7", "a-very-long-stream-name"] {
+            let NodeId::Server(i) = fabric.owner_of(name) else { panic!("server owner") };
+            assert_eq!(rendezvous_owner(name, 5), i as usize);
+        }
     }
 
     #[test]

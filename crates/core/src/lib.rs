@@ -59,17 +59,17 @@ pub mod warnings;
 pub use access_guard::AccessGuard;
 pub use audit::{AuditEvent, AuditEventKind, AuditLog};
 pub use backend::{
-    AccessControl, Backend, BackendResponse, PolicyAdmin, StreamBackend, Subscription,
-    TaggedAuditEvent,
+    AccessControl, Backend, BackendHealth, BackendResponse, PolicyAdmin, StreamBackend,
+    Subscription, TaggedAuditEvent,
 };
 pub use client::{ClientInterface, RequestResult};
 pub use error::ExacmlError;
 pub use fabric::{
-    DeliveredTuple, Fabric, FabricConfig, FabricNode, FabricResponse, FabricStats,
-    FabricSubscription,
+    rendezvous_owner, DeliveredTuple, Fabric, FabricConfig, FabricNode, FabricResponse,
+    FabricStats, FabricSubscription, RetryPolicy,
 };
 pub use merge::{merge_graphs, MergeOptions, MergeOutcome};
-pub use metrics::{RequestTiming, TimingBreakdown};
+pub use metrics::{RequestTiming, RobustnessStats, TimingBreakdown};
 pub use obligations::{graph_from_obligations, obligations_from_graph, StreamPolicyBuilder};
 pub use proxy::{Proxy, ProxyStats};
 pub use server::{AccessResponse, DataServer, ServerConfig};
@@ -81,17 +81,17 @@ pub use warnings::{Warning, WarningKind, WarningSource};
 pub mod prelude {
     pub use crate::access_guard::AccessGuard;
     pub use crate::backend::{
-        AccessControl, Backend, BackendResponse, PolicyAdmin, StreamBackend, Subscription,
-        TaggedAuditEvent,
+        AccessControl, Backend, BackendHealth, BackendResponse, PolicyAdmin, StreamBackend,
+        Subscription, TaggedAuditEvent,
     };
     pub use crate::client::{ClientInterface, RequestResult};
     pub use crate::error::ExacmlError;
     pub use crate::fabric::{
-        DeliveredTuple, Fabric, FabricConfig, FabricNode, FabricResponse, FabricStats,
-        FabricSubscription,
+        rendezvous_owner, DeliveredTuple, Fabric, FabricConfig, FabricNode, FabricResponse,
+        FabricStats, FabricSubscription, RetryPolicy,
     };
     pub use crate::merge::{merge_graphs, MergeOptions, MergeOutcome};
-    pub use crate::metrics::{RequestTiming, TimingBreakdown};
+    pub use crate::metrics::{RequestTiming, RobustnessStats, TimingBreakdown};
     pub use crate::obligations::{
         graph_from_obligations, obligations_from_graph, StreamPolicyBuilder,
     };

@@ -17,7 +17,18 @@
 //! * [`server`] — [`DurableServer`], a [`DataServer`](exacml_plus::DataServer)
 //!   wrapper that journals on the way in and rebuilds itself via
 //!   [`DurableServer::recover`], re-minting the *same* handle URIs by
-//!   replaying grants at their recorded deployment ids.
+//!   replaying grants at their recorded deployment ids;
+//! * [`replication`] — WAL shipping: file-level mirroring of one store onto
+//!   peer hosts, incremental past an acknowledged offset;
+//! * [`fabric`] — [`ReplicatedFabric`], a brokering fabric of durable nodes
+//!   with replication and owner failover: killing a host loses no
+//!   acknowledged grant, the surviving peer replays the shipped journal and
+//!   re-mints the dead node's handles at their recorded URIs.
+//!
+//! The [`wal`] layer also carries an error-injecting shim
+//! ([`WalFailpoint`]): armed with a [`FailMode`] (disk full, sticky I/O
+//! error, torn write) it makes journal writes fail the way real disks do,
+//! which is what the fault-injection tests drive.
 //!
 //! `DurableServer` implements the full unified backend trait stack
 //! ([`Backend`](exacml_plus::Backend) and its three planes), so it is a
@@ -29,14 +40,19 @@
 //! are documented in `docs/RECOVERY.md`; where the layer sits in the stack
 //! is `docs/ARCHITECTURE.md`.
 
+pub mod fabric;
 pub mod record;
+pub mod replication;
 pub mod server;
 pub mod snapshot;
 pub mod wal;
 
+pub use fabric::{ReplicatedConfig, ReplicatedFabric};
 pub use record::{GrantRecord, Record};
+pub use replication::{ReplicaMirror, ShipOutcome};
 pub use server::{DurableConfig, DurableServer, RecoveryReport, TopologyPreset};
 pub use snapshot::Snapshot;
+pub use wal::{FailMode, WalFailpoint};
 
 #[cfg(test)]
 mod tests {

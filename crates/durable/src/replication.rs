@@ -1,0 +1,234 @@
+//! WAL shipping: file-level mirroring of one durable store onto peer hosts.
+//!
+//! Each logical node of the replicated fabric owns a [`crate::DurableServer`]
+//! whose store directory is the authoritative journal. A [`ReplicaMirror`]
+//! mirrors that store onto a peer host by shipping raw file bytes:
+//!
+//! * on **attach**, the mirror receives a full copy — `meta.json`, the
+//!   snapshot when one exists, and the WAL from byte zero;
+//! * afterwards each ship call appends only the WAL bytes past the mirror's
+//!   acknowledged offset;
+//! * a WAL that *shrank* since the last ship means the primary compacted
+//!   (folded the journal into a snapshot and reset the log) — the mirror
+//!   cannot express that incrementally, so it re-attaches: fresh snapshot,
+//!   fresh meta, WAL restarted from the new byte zero.
+//!
+//! The bytes are opaque to the shipper; framing, checksums and torn-tail
+//! handling are the WAL's own ([`crate::wal`]), which is exactly what makes
+//! a mirror recoverable: `DurableServer::recover_with` on a replica
+//! directory replays the longest valid prefix, and a ship interrupted
+//! mid-record is indistinguishable from a torn write on the primary.
+//!
+//! The shipper is deliberately **mechanism only**: it moves bytes between
+//! directories and tracks offsets. Scheduling (sync for control-plane,
+//! batched for ingest), link delays, fault windows and retry budgets belong
+//! to the replicated fabric broker in [`crate::fabric`].
+
+use crate::server::DurableServer;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// What one ship call moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipOutcome {
+    /// WAL bytes appended to (or re-copied into) the mirror.
+    pub wal_bytes: u64,
+    /// Whether the mirror was (re-)attached: meta + snapshot + full WAL.
+    pub attached: bool,
+}
+
+impl ShipOutcome {
+    /// Whether the call moved anything at all.
+    #[must_use]
+    pub fn shipped_anything(&self) -> bool {
+        self.attached || self.wal_bytes > 0
+    }
+}
+
+/// One peer host's mirror of a logical node's store.
+#[derive(Debug)]
+pub struct ReplicaMirror {
+    /// The physical host holding this mirror.
+    host: usize,
+    /// The mirror directory on that host.
+    dir: PathBuf,
+    /// Whether the full-copy attach has happened.
+    attached: bool,
+    /// Bytes of the primary WAL already acknowledged by this mirror.
+    wal_offset: u64,
+    /// The primary's journal sequence number at the last acknowledged ship
+    /// (lag = the primary's current sequence minus this).
+    acked_seq: u64,
+}
+
+impl ReplicaMirror {
+    /// A detached mirror on `host`, stored at `dir` (created on attach).
+    #[must_use]
+    pub fn new(host: usize, dir: PathBuf) -> Self {
+        ReplicaMirror { host, dir, attached: false, wal_offset: 0, acked_seq: 0 }
+    }
+
+    /// The physical host holding this mirror.
+    #[must_use]
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// The mirror directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The primary journal sequence this mirror has acknowledged.
+    #[must_use]
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq
+    }
+
+    /// Force the next ship to re-attach (full copy) — used after the mirror
+    /// host restarted and its disk state can no longer be trusted.
+    pub fn detach(&mut self) {
+        self.attached = false;
+        self.wal_offset = 0;
+        self.acked_seq = 0;
+    }
+
+    /// Mirror the primary's current on-disk state into this replica:
+    /// a full copy on first contact (or after [`ReplicaMirror::detach`]),
+    /// an incremental WAL append otherwise, a re-attach when the primary
+    /// compacted. The caller must have flushed the primary's group-commit
+    /// buffer first ([`DurableServer::flush_journal`]) — this function only
+    /// reads files.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; the mirror's acknowledged offset only advances
+    /// on success, so a failed ship is safely retried.
+    pub fn ship_from(&mut self, primary: &DurableServer) -> std::io::Result<ShipOutcome> {
+        let wal_path = primary.wal_path();
+        let wal_len = file_len(&wal_path)?;
+        if !self.attached || wal_len < self.wal_offset {
+            let outcome = self.attach_from(primary, wal_len)?;
+            self.acked_seq = primary.journal_seq();
+            return Ok(outcome);
+        }
+        if wal_len == self.wal_offset {
+            self.acked_seq = primary.journal_seq();
+            return Ok(ShipOutcome::default());
+        }
+        let bytes = read_range(&wal_path, self.wal_offset, wal_len)?;
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(self.dir.join("wal.log"))?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        self.wal_offset = wal_len;
+        self.acked_seq = primary.journal_seq();
+        Ok(ShipOutcome { wal_bytes: bytes.len() as u64, attached: false })
+    }
+
+    /// Full copy: meta, snapshot when present, WAL from byte zero. Clears
+    /// any stale mirror state first (a leftover snapshot from before the
+    /// primary's compaction horizon would otherwise shadow the fresh one).
+    fn attach_from(
+        &mut self,
+        primary: &DurableServer,
+        wal_len: u64,
+    ) -> std::io::Result<ShipOutcome> {
+        let _ = std::fs::remove_dir_all(&self.dir);
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::copy(primary.meta_path(), self.dir.join("meta.json"))?;
+        let snapshot = primary.snapshot_path();
+        if snapshot.exists() {
+            std::fs::copy(&snapshot, self.dir.join("snapshot.json"))?;
+        }
+        let bytes = read_range(&primary.wal_path(), 0, wal_len)?;
+        std::fs::write(self.dir.join("wal.log"), &bytes)?;
+        self.attached = true;
+        self.wal_offset = wal_len;
+        Ok(ShipOutcome { wal_bytes: bytes.len() as u64, attached: true })
+    }
+}
+
+/// Length of a file, with a missing file reading as empty (a fresh store
+/// has no WAL until its first append).
+fn file_len(path: &Path) -> std::io::Result<u64> {
+    match std::fs::metadata(path) {
+        Ok(meta) => Ok(meta.len()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Read `[from, to)` of a file (empty when the file is missing and the
+/// range is empty).
+fn read_range(path: &Path, from: u64, to: u64) -> std::io::Result<Vec<u8>> {
+    if from >= to {
+        return Ok(Vec::new());
+    }
+    let bytes = std::fs::read(path)?;
+    let from = from.min(bytes.len() as u64) as usize;
+    let to = to.min(bytes.len() as u64) as usize;
+    Ok(bytes[from..to].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{DurableConfig, DurableServer};
+    use exacml_dsms::Schema;
+    use exacml_plus::StreamPolicyBuilder;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("exacml-replication-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn attach_then_incremental_then_reattach_on_compaction() {
+        let root = temp_root("ship");
+        let primary = DurableServer::create(root.join("primary"), DurableConfig::local()).unwrap();
+        primary.register_stream("weather", Schema::weather_example()).unwrap();
+        let mut mirror = ReplicaMirror::new(1, root.join("mirror"));
+
+        // First contact: full attach.
+        primary.flush_journal().unwrap();
+        let outcome = mirror.ship_from(&primary).unwrap();
+        assert!(outcome.attached);
+        assert!(outcome.wal_bytes > 0);
+        assert_eq!(mirror.acked_seq(), primary.journal_seq());
+
+        // New appends ship incrementally.
+        primary
+            .load_policy(
+                StreamPolicyBuilder::new("p1", "weather")
+                    .subject("LTA")
+                    .filter("rainrate > 5")
+                    .build(),
+            )
+            .unwrap();
+        primary.flush_journal().unwrap();
+        let outcome = mirror.ship_from(&primary).unwrap();
+        assert!(!outcome.attached);
+        assert!(outcome.wal_bytes > 0);
+        // Nothing new: nothing ships.
+        assert!(!mirror.ship_from(&primary).unwrap().shipped_anything());
+
+        // A mirror recovers to the same state as the primary.
+        let recovered =
+            DurableServer::recover_with(root.join("mirror"), DurableConfig::local()).unwrap();
+        assert_eq!(recovered.policy_count(), 1);
+
+        // Compaction shrinks the WAL; the mirror re-attaches.
+        primary.snapshot().unwrap();
+        primary.flush_journal().unwrap();
+        let outcome = mirror.ship_from(&primary).unwrap();
+        assert!(outcome.attached);
+        let recovered =
+            DurableServer::recover_with(root.join("mirror"), DurableConfig::local()).unwrap();
+        assert_eq!(recovered.policy_count(), 1);
+        assert!(recovered.recovery_report().snapshot_loaded);
+    }
+}

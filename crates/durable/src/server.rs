@@ -44,11 +44,12 @@
 
 use crate::record::{decode_row, encode_ingest_into, GrantRecord, Record};
 use crate::snapshot::{read_snapshot, write_snapshot, Snapshot, StreamEntry};
-use crate::wal::{read_wal, truncate_to, unframe, WalWriter};
+use crate::wal::{read_wal, truncate_to, unframe, FailMode, WalFailpoint, WalWriter};
 use exacml_dsms::{DsmsError, Schema, StreamHandle, Tuple};
 use exacml_plus::{
-    AccessControl, AuditEvent, Backend, BackendResponse, DataServer, ExacmlError, MergeOptions,
-    PolicyAdmin, ServerConfig, StreamBackend, Subscription, TaggedAuditEvent, UserQuery,
+    AccessControl, AuditEvent, Backend, BackendHealth, BackendResponse, DataServer, ExacmlError,
+    MergeOptions, PolicyAdmin, RobustnessStats, ServerConfig, StreamBackend, Subscription,
+    TaggedAuditEvent, UserQuery,
 };
 use exacml_simnet::{NodeId, Topology};
 use exacml_xacml::xml::{parse_policy, write_policy};
@@ -643,6 +644,66 @@ impl DurableServer {
         self.journal.lock().records_since_snapshot
     }
 
+    /// The journal's sequence number for the *next* record — a monotone
+    /// measure of how much state this store has journaled (replication lag
+    /// is a difference of these).
+    #[must_use]
+    pub fn journal_seq(&self) -> u64 {
+        self.journal.lock().next_seq
+    }
+
+    /// The sticky journal failure, when one happened: the disk fault that
+    /// made the store refuse further mutations. `None` while healthy.
+    #[must_use]
+    pub fn journal_failure(&self) -> Option<String> {
+        self.journal.lock().failed.clone()
+    }
+
+    /// The WAL file of this store.
+    #[must_use]
+    pub fn wal_path(&self) -> PathBuf {
+        self.path.join(WAL_FILE)
+    }
+
+    /// The snapshot file of this store.
+    #[must_use]
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.path.join(SNAPSHOT_FILE)
+    }
+
+    /// The meta file of this store.
+    #[must_use]
+    pub fn meta_path(&self) -> PathBuf {
+        self.path.join(META_FILE)
+    }
+
+    /// Drain the group-commit buffer to the OS, making every acknowledged
+    /// ingest record visible in the WAL file (replication shippers call
+    /// this before reading the file).
+    ///
+    /// # Errors
+    /// Propagates (sticky) journaling failures.
+    pub fn flush_journal(&self) -> Result<(), ExacmlError> {
+        let mut journal = self.journal.lock();
+        Self::check_health(&journal)?;
+        self.commit(&mut journal)
+    }
+
+    /// A shared handle to the WAL writer's error-injecting shim (see
+    /// [`WalFailpoint`]); arming it makes subsequent journal writes fail in
+    /// the chosen [`FailMode`], which the journal then treats exactly like
+    /// a real disk fault — sticky refusal of further mutations.
+    #[must_use]
+    pub fn wal_failpoint(&self) -> std::sync::Arc<WalFailpoint> {
+        self.journal.lock().wal.failpoint()
+    }
+
+    /// Arm the WAL failpoint with a failure mode (convenience for
+    /// [`DurableServer::wal_failpoint`]`.arm(mode)`).
+    pub fn install_wal_failpoint(&self, mode: FailMode) {
+        self.wal_failpoint().arm(mode);
+    }
+
     // --- journaling ---------------------------------------------------------
 
     fn check_health(journal: &Journal) -> Result<(), ExacmlError> {
@@ -1077,5 +1138,14 @@ impl Backend for DurableServer {
             .into_iter()
             .map(|event| TaggedAuditEvent { node: NodeId::DataServer, event })
             .collect()
+    }
+
+    fn health(&self) -> BackendHealth {
+        BackendHealth {
+            degraded_nodes: Vec::new(),
+            journal_failure: self.journal_failure(),
+            replication_lag_records: 0,
+            robustness: RobustnessStats::default(),
+        }
     }
 }

@@ -36,6 +36,8 @@ use serde_json::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// 64-bit FNV-1a folded over 8-byte little-endian words (the final partial
 /// word is zero-padded and the byte length is mixed in, so padding cannot
@@ -152,6 +154,119 @@ pub fn truncate_to(path: &Path, len: u64) -> std::io::Result<()> {
     file.sync_all()
 }
 
+/// An injected filesystem failure mode for [`WalFailpoint`].
+///
+/// These model the disk faults the recovery procedure must survive — the
+/// real versions need a failing device or an out-of-space volume, the shim
+/// produces them on demand on a healthy filesystem.
+#[derive(Debug, Clone)]
+pub enum FailMode {
+    /// The disk has `remaining` bytes left: appends succeed until a record
+    /// no longer fits, which is written **torn** (its first bytes reach the
+    /// file, the commit newline does not) and converts the failpoint to
+    /// [`FailMode::Sticky`] — a full disk does not un-fill itself.
+    DiskFull {
+        /// Bytes of framed WAL data still accepted before the device fills.
+        remaining: usize,
+    },
+    /// Every write fails with `message`, nothing reaches the file — a dead
+    /// or ejected device.
+    Sticky {
+        /// The error message surfaced on every subsequent write.
+        message: String,
+    },
+    /// The next append is torn after `keep` bytes of the framed record
+    /// (simulating a crash mid-`write(2)`), then the failpoint converts to
+    /// [`FailMode::Sticky`].
+    TornWrite {
+        /// Bytes of the framed record that reach the file before the tear.
+        keep: usize,
+    },
+}
+
+/// The decision [`WalFailpoint::intercept`] takes for one framed record.
+enum Intercept {
+    /// No fault active — write normally.
+    Pass,
+    /// Write only the first `keep` bytes (torn), then fail with `error`.
+    WriteTorn { keep: usize, error: String },
+    /// Write nothing, fail with `error`.
+    Fail { error: String },
+}
+
+/// An error-injecting shim between [`WalWriter`] and the filesystem.
+///
+/// Disarmed (the default) it costs one relaxed atomic load per append, so
+/// the shim stays compiled into the production ingest path. Arming it makes
+/// the writer *actually* produce the on-disk states the fault models — a
+/// torn record's prefix really reaches the file, so recovery code is
+/// exercised against genuine torn tails rather than hand-crafted ones.
+#[derive(Debug, Default)]
+pub struct WalFailpoint {
+    armed: AtomicBool,
+    mode: Mutex<Option<FailMode>>,
+}
+
+impl WalFailpoint {
+    /// Arm the failpoint with a failure mode. Replaces any previous mode.
+    pub fn arm(&self, mode: FailMode) {
+        *self.mode.lock().expect("failpoint mode lock") = Some(mode);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm the failpoint; subsequent writes behave normally.
+    pub fn disarm(&self) {
+        *self.mode.lock().expect("failpoint mode lock") = None;
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Whether a failure mode is currently armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// The sticky error message, when the armed mode fails *every* write
+    /// (not just the next append) — flushes must fail too.
+    fn sticky_error(&self) -> Option<String> {
+        if !self.is_armed() {
+            return None;
+        }
+        match &*self.mode.lock().expect("failpoint mode lock") {
+            Some(FailMode::Sticky { message }) => Some(message.clone()),
+            _ => None,
+        }
+    }
+
+    /// Decide what happens to one framed record of `line_len` bytes,
+    /// advancing the mode's internal state (budget consumption, conversion
+    /// to sticky).
+    fn intercept(&self, line_len: usize) -> Intercept {
+        let mut guard = self.mode.lock().expect("failpoint mode lock");
+        match guard.take() {
+            None => Intercept::Pass,
+            Some(FailMode::DiskFull { remaining }) => {
+                if line_len <= remaining {
+                    *guard = Some(FailMode::DiskFull { remaining: remaining - line_len });
+                    return Intercept::Pass;
+                }
+                let message = "no space left on device (injected)".to_string();
+                *guard = Some(FailMode::Sticky { message: message.clone() });
+                Intercept::WriteTorn { keep: remaining, error: message }
+            }
+            Some(FailMode::Sticky { message }) => {
+                *guard = Some(FailMode::Sticky { message: message.clone() });
+                Intercept::Fail { error: message }
+            }
+            Some(FailMode::TornWrite { keep }) => {
+                let message = "write torn mid-append (injected)".to_string();
+                *guard = Some(FailMode::Sticky { message: message.clone() });
+                Intercept::WriteTorn { keep: keep.min(line_len), error: message }
+            }
+        }
+    }
+}
+
 /// An append-only writer over one WAL file.
 pub struct WalWriter {
     path: PathBuf,
@@ -161,6 +276,9 @@ pub struct WalWriter {
     /// had not written back on a *power* failure, nothing on a process
     /// crash).
     sync_writes: bool,
+    /// The error-injecting shim. Disarmed in production: one relaxed load
+    /// per append.
+    failpoint: Arc<WalFailpoint>,
 }
 
 impl WalWriter {
@@ -171,13 +289,25 @@ impl WalWriter {
     pub fn open(path: impl Into<PathBuf>, sync_writes: bool) -> std::io::Result<Self> {
         let path = path.into();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(WalWriter { path, file: BufWriter::with_capacity(256 * 1024, file), sync_writes })
+        Ok(WalWriter {
+            path,
+            file: BufWriter::with_capacity(256 * 1024, file),
+            sync_writes,
+            failpoint: Arc::new(WalFailpoint::default()),
+        })
     }
 
     /// The file this writer appends to.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// A shared handle to the writer's error-injecting shim; arm it to make
+    /// subsequent writes fail in the chosen [`FailMode`].
+    #[must_use]
+    pub fn failpoint(&self) -> Arc<WalFailpoint> {
+        Arc::clone(&self.failpoint)
     }
 
     /// Append one framed payload. The record is flushed to the OS before the
@@ -201,6 +331,9 @@ impl WalWriter {
     /// # Errors
     /// Propagates I/O errors.
     pub fn append_buffered(&mut self, payload: &str) -> std::io::Result<()> {
+        if self.failpoint.armed.load(Ordering::Relaxed) {
+            return self.append_through_failpoint(payload);
+        }
         // Equivalent to writing `frame(payload)` but without materializing
         // the concatenated line (this is the ingest hot path).
         const HEX: &[u8; 16] = b"0123456789abcdef";
@@ -215,11 +348,37 @@ impl WalWriter {
         self.file.write_all(b"\n")
     }
 
+    /// The armed-failpoint append path: consult the shim, and when it orders
+    /// a torn write make the record's prefix *actually* reach the file so a
+    /// later recovery sees a genuine torn tail.
+    fn append_through_failpoint(&mut self, payload: &str) -> std::io::Result<()> {
+        let line = frame(payload);
+        match self.failpoint.intercept(line.len()) {
+            Intercept::Pass => {
+                self.file.write_all(line.as_bytes())?;
+                Ok(())
+            }
+            Intercept::WriteTorn { keep, error } => {
+                // Drain healthy buffered records first so the torn bytes
+                // land after them, exactly as a real device would order it.
+                self.file.flush()?;
+                let mut raw: &File = self.file.get_ref();
+                raw.write_all(&line.as_bytes()[..keep])?;
+                raw.sync_data()?;
+                Err(std::io::Error::other(error))
+            }
+            Intercept::Fail { error } => Err(std::io::Error::other(error)),
+        }
+    }
+
     /// Drain the buffer to the OS (and to disk when `sync_writes`).
     ///
     /// # Errors
     /// Propagates I/O errors.
     pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(message) = self.failpoint.sticky_error() {
+            return Err(std::io::Error::other(message));
+        }
         self.file.flush()?;
         if self.sync_writes {
             self.file.get_ref().sync_data()?;
@@ -322,6 +481,74 @@ mod tests {
         let contents = read_wal(&path).unwrap();
         assert_eq!(contents.records.len(), 1, "records after the corruption must not replay");
         assert!(contents.tail_error.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn disk_full_failpoint_tears_the_overflowing_record_then_sticks() {
+        let path = temp_wal("full");
+        let mut writer = WalWriter::open(&path, false).unwrap();
+        writer.append(r#"{"seq":0,"op":"a"}"#).unwrap();
+        let one_record = std::fs::metadata(&path).unwrap().len() as usize;
+
+        // Budget for one-and-a-half more records: the second append fits,
+        // the third is torn mid-write.
+        writer.failpoint().arm(FailMode::DiskFull { remaining: one_record + one_record / 2 });
+        writer.append(r#"{"seq":1,"op":"b"}"#).unwrap();
+        let err = writer.append(r#"{"seq":2,"op":"c"}"#).unwrap_err();
+        assert!(err.to_string().contains("no space left"), "unexpected error: {err}");
+        // The device stays full: later appends and flushes keep failing.
+        assert!(writer.append(r#"{"seq":3,"op":"d"}"#).is_err());
+        assert!(writer.flush().is_err());
+        drop(writer);
+
+        // The torn prefix really reached the file; the readable prefix (two
+        // committed records) survives intact.
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert!(on_disk > 2 * one_record as u64, "the torn prefix must reach the file");
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert_eq!(contents.records[1].seq, 1);
+        assert!(contents.tail_error.is_some());
+    }
+
+    #[test]
+    fn torn_write_failpoint_then_recovery_truncates_cleanly() {
+        let path = temp_wal("fp-torn");
+        let mut writer = WalWriter::open(&path, true).unwrap();
+        writer.append(r#"{"seq":0,"op":"a"}"#).unwrap();
+        writer.failpoint().arm(FailMode::TornWrite { keep: 7 });
+        assert!(writer.append(r#"{"seq":1,"op":"b"}"#).is_err());
+        drop(writer);
+
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert!(contents.tail_error.is_some());
+        truncate_to(&path, contents.valid_len).unwrap();
+
+        // After "replacing the device" (a fresh writer, failpoint disarmed)
+        // the log accepts appends again.
+        let mut writer = WalWriter::open(&path, true).unwrap();
+        writer.append(r#"{"seq":1,"op":"b"}"#).unwrap();
+        let clean = read_wal(&path).unwrap();
+        assert_eq!(clean.records.len(), 2);
+        assert!(clean.tail_error.is_none());
+    }
+
+    #[test]
+    fn sticky_failpoint_writes_nothing_and_disarm_restores_service() {
+        let path = temp_wal("fp-sticky");
+        let mut writer = WalWriter::open(&path, false).unwrap();
+        writer.append(r#"{"seq":0,"op":"a"}"#).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        let failpoint = writer.failpoint();
+        failpoint.arm(FailMode::Sticky { message: "io error (injected)".into() });
+        assert!(writer.append(r#"{"seq":1,"op":"b"}"#).is_err());
+        assert!(writer.flush().is_err());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before, "sticky writes nothing");
+        failpoint.disarm();
+        assert!(!failpoint.is_armed());
+        writer.append(r#"{"seq":1,"op":"b"}"#).unwrap();
+        assert_eq!(read_wal(&path).unwrap().records.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Fault injection over the simulated network.
+//!
+//! A [`FaultPlan`] is a declarative schedule of failures keyed to the
+//! virtual clock: link drops, partitions, latency spikes and whole-node
+//! crashes, each active during a `[from, until)` window of simulated time.
+//! The plan itself is immutable once built and is consulted (never mutated)
+//! by whatever component simulates delivery — the fabric broker before a
+//! broker→node hop, the replication shipper before a batch send — so a
+//! single `Arc<FaultPlan>` can be shared across every layer of a chaos
+//! test without locks.
+//!
+//! Two kinds of node failure are distinguished on purpose:
+//!
+//! * [`Fault::NodeDown`] makes a node *unreachable* for the window — its
+//!   state survives and it answers again once the window closes (a network
+//!   blip, a GC pause, an overloaded NIC);
+//! * [`Fault::Crash`] declares the node *dead* at the window start — the
+//!   component applying the plan is expected to destroy the node's
+//!   in-memory state, and (if the window closes) restart it empty. Crash
+//!   application is edge-triggered, so consumers track which crash entries
+//!   they have already applied via the index reported by
+//!   [`FaultPlan::crash_windows`].
+
+use crate::topology::NodeId;
+use std::time::Duration;
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Every message between `a` and `b` (either direction) is dropped.
+    LinkDrop {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A network partition: messages between any node of `left` and any
+    /// node of `right` are dropped. Traffic within each side is unaffected.
+    Partition {
+        /// Nodes on one side of the partition.
+        left: Vec<NodeId>,
+        /// Nodes on the other side.
+        right: Vec<NodeId>,
+    },
+    /// Latency on the link between `a` and `b` is multiplied by `factor`
+    /// (overlapping spikes multiply).
+    LatencySpike {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Multiplier applied to the sampled delay.
+        factor: f64,
+    },
+    /// The node is unreachable for the window; its state survives.
+    NodeDown {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// The node crashes at the window start (state lost) and — if the
+    /// window is bounded — restarts at the window end.
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+    },
+}
+
+/// A fault active during `[from_nanos, until_nanos)` of virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedFault {
+    /// The failure injected.
+    pub fault: Fault,
+    /// Window start, in virtual-clock nanoseconds (inclusive).
+    pub from_nanos: u64,
+    /// Window end, in virtual-clock nanoseconds (exclusive). `u64::MAX`
+    /// means the fault never heals.
+    pub until_nanos: u64,
+}
+
+impl TimedFault {
+    fn active(&self, now_nanos: u64) -> bool {
+        self.from_nanos <= now_nanos && now_nanos < self.until_nanos
+    }
+}
+
+/// A declarative, immutable-once-built schedule of injected faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing ever fails).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a fault active during `[from, until)` of virtual time
+    /// (builder-style).
+    #[must_use]
+    pub fn inject(mut self, fault: Fault, from: Duration, until: Duration) -> Self {
+        self.push(fault, from, until);
+        self
+    }
+
+    /// Add a fault that starts at `from` and never heals (builder-style).
+    #[must_use]
+    pub fn inject_forever(mut self, fault: Fault, from: Duration) -> Self {
+        self.faults.push(TimedFault {
+            fault,
+            from_nanos: from.as_nanos() as u64,
+            until_nanos: u64::MAX,
+        });
+        self
+    }
+
+    /// Add a fault active during `[from, until)` of virtual time.
+    pub fn push(&mut self, fault: Fault, from: Duration, until: Duration) {
+        self.faults.push(TimedFault {
+            fault,
+            from_nanos: from.as_nanos() as u64,
+            until_nanos: until.as_nanos() as u64,
+        });
+    }
+
+    /// The scheduled faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[TimedFault] {
+        &self.faults
+    }
+
+    /// Whether no fault is scheduled at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether `node` is unreachable at `now_nanos` — either a
+    /// [`Fault::NodeDown`] window or an un-restarted [`Fault::Crash`]
+    /// covers the instant.
+    #[must_use]
+    pub fn node_down(&self, node: NodeId, now_nanos: u64) -> bool {
+        self.faults.iter().any(|t| {
+            t.active(now_nanos)
+                && matches!(&t.fault,
+                    Fault::NodeDown { node: n } | Fault::Crash { node: n } if *n == node)
+        })
+    }
+
+    /// Whether a message between `a` and `b` is dropped at `now_nanos`
+    /// (link drop, partition membership, or either endpoint down).
+    #[must_use]
+    pub fn link_down(&self, a: NodeId, b: NodeId, now_nanos: u64) -> bool {
+        if self.node_down(a, now_nanos) || self.node_down(b, now_nanos) {
+            return true;
+        }
+        self.faults.iter().any(|t| {
+            if !t.active(now_nanos) {
+                return false;
+            }
+            match &t.fault {
+                Fault::LinkDrop { a: x, b: y } => (*x == a && *y == b) || (*x == b && *y == a),
+                Fault::Partition { left, right } => {
+                    (left.contains(&a) && right.contains(&b))
+                        || (left.contains(&b) && right.contains(&a))
+                }
+                _ => false,
+            }
+        })
+    }
+
+    /// The latency multiplier for a message between `a` and `b` at
+    /// `now_nanos` (1.0 when no spike is active; overlapping spikes
+    /// multiply).
+    #[must_use]
+    pub fn latency_factor(&self, a: NodeId, b: NodeId, now_nanos: u64) -> f64 {
+        self.faults
+            .iter()
+            .filter(|t| t.active(now_nanos))
+            .filter_map(|t| match &t.fault {
+                Fault::LatencySpike { a: x, b: y, factor }
+                    if (*x == a && *y == b) || (*x == b && *y == a) =>
+                {
+                    Some(*factor)
+                }
+                _ => None,
+            })
+            .product()
+    }
+
+    /// The crash schedule: `(index, node, crash_at_nanos, restart_at_nanos)`
+    /// for every [`Fault::Crash`] entry. Crash application is edge-triggered
+    /// and therefore stateful on the consumer side; the index identifies
+    /// the entry so an applier can remember which crashes (and restarts) it
+    /// has already carried out. `restart_at_nanos == u64::MAX` means the
+    /// node never comes back.
+    pub fn crash_windows(&self) -> impl Iterator<Item = (usize, NodeId, u64, u64)> + '_ {
+        self.faults.iter().enumerate().filter_map(|(i, t)| match &t.fault {
+            Fault::Crash { node } => Some((i, *node, t.from_nanos, t.until_nanos)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn link_drop_is_windowed_and_symmetric() {
+        let plan = FaultPlan::new().inject(
+            Fault::LinkDrop { a: NodeId::Server(0), b: NodeId::Server(1) },
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        );
+        assert!(!plan.link_down(NodeId::Server(0), NodeId::Server(1), 9 * MS));
+        assert!(plan.link_down(NodeId::Server(0), NodeId::Server(1), 10 * MS));
+        assert!(plan.link_down(NodeId::Server(1), NodeId::Server(0), 15 * MS));
+        assert!(!plan.link_down(NodeId::Server(0), NodeId::Server(1), 20 * MS));
+        // Unrelated links are unaffected.
+        assert!(!plan.link_down(NodeId::Server(0), NodeId::Server(2), 15 * MS));
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_traffic_only() {
+        let plan = FaultPlan::new().inject(
+            Fault::Partition {
+                left: vec![NodeId::Server(0)],
+                right: vec![NodeId::Server(1), NodeId::Server(2)],
+            },
+            Duration::ZERO,
+            Duration::from_millis(5),
+        );
+        assert!(plan.link_down(NodeId::Server(0), NodeId::Server(2), 0));
+        assert!(plan.link_down(NodeId::Server(1), NodeId::Server(0), 0));
+        assert!(!plan.link_down(NodeId::Server(1), NodeId::Server(2), 0));
+        assert!(!plan.link_down(NodeId::Server(0), NodeId::Server(2), 5 * MS));
+    }
+
+    #[test]
+    fn node_down_blocks_every_link_of_the_node() {
+        let plan = FaultPlan::new().inject(
+            Fault::NodeDown { node: NodeId::Server(1) },
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        );
+        assert!(plan.node_down(NodeId::Server(1), MS));
+        assert!(plan.link_down(NodeId::Server(0), NodeId::Server(1), MS));
+        assert!(plan.link_down(NodeId::Server(1), NodeId::DataServer, MS));
+        assert!(!plan.link_down(NodeId::Server(0), NodeId::Server(2), MS));
+        assert!(!plan.node_down(NodeId::Server(1), 2 * MS));
+    }
+
+    #[test]
+    fn latency_spikes_multiply_and_heal() {
+        let plan = FaultPlan::new()
+            .inject(
+                Fault::LatencySpike { a: NodeId::Server(0), b: NodeId::Server(1), factor: 10.0 },
+                Duration::ZERO,
+                Duration::from_millis(10),
+            )
+            .inject(
+                Fault::LatencySpike { a: NodeId::Server(1), b: NodeId::Server(0), factor: 2.0 },
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+            );
+        assert_eq!(plan.latency_factor(NodeId::Server(0), NodeId::Server(1), 0), 10.0);
+        assert_eq!(plan.latency_factor(NodeId::Server(1), NodeId::Server(0), 6 * MS), 20.0);
+        assert_eq!(plan.latency_factor(NodeId::Server(0), NodeId::Server(1), 10 * MS), 1.0);
+        assert_eq!(plan.latency_factor(NodeId::Server(0), NodeId::Server(2), 0), 1.0);
+    }
+
+    #[test]
+    fn crash_windows_report_schedule_and_block_reachability() {
+        let plan = FaultPlan::new()
+            .inject(
+                Fault::Crash { node: NodeId::Server(2) },
+                Duration::from_millis(3),
+                Duration::from_millis(7),
+            )
+            .inject_forever(Fault::Crash { node: NodeId::Server(0) }, Duration::from_millis(4));
+        let windows: Vec<_> = plan.crash_windows().collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0], (0, NodeId::Server(2), 3 * MS, 7 * MS));
+        assert_eq!(windows[1], (1, NodeId::Server(0), 4 * MS, u64::MAX));
+        // While crashed the node is also unreachable.
+        assert!(plan.node_down(NodeId::Server(2), 5 * MS));
+        assert!(!plan.node_down(NodeId::Server(2), 7 * MS));
+        assert!(plan.node_down(NodeId::Server(0), u64::MAX - 1));
+    }
+}

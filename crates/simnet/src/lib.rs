@@ -20,11 +20,13 @@
 //! query-graph manipulation cost without dwarfing it.
 
 pub mod clock;
+pub mod fault;
 pub mod link;
 pub mod queue;
 pub mod topology;
 
 pub use clock::{Clock, ManualClock, SimClock, WallClock};
+pub use fault::{Fault, FaultPlan, TimedFault};
 pub use link::{LatencyModel, LinkSpec};
 pub use queue::{DeliveryQueue, SimLink};
 pub use topology::{NodeId, Topology};
@@ -32,6 +34,7 @@ pub use topology::{NodeId, Topology};
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::clock::{Clock, ManualClock, SimClock, WallClock};
+    pub use crate::fault::{Fault, FaultPlan, TimedFault};
     pub use crate::link::{LatencyModel, LinkSpec};
     pub use crate::queue::{DeliveryQueue, SimLink};
     pub use crate::topology::{NodeId, Topology};

@@ -19,7 +19,9 @@
 //! For the unconfigured cases, `exacml_plus` also ships
 //! `<dyn Backend>::local()` / `<dyn Backend>::fabric(n)` shorthands.
 
-use exacml_durable::{DurableConfig, DurableServer, TopologyPreset};
+use exacml_durable::{
+    DurableConfig, DurableServer, ReplicatedConfig, ReplicatedFabric, TopologyPreset,
+};
 use exacml_plus::{
     Backend, DataServer, ExacmlError, Fabric, FabricConfig, MergeOptions, ServerConfig,
 };
@@ -38,6 +40,9 @@ enum Shape {
     Fabric(usize),
     /// One data server wrapped in WAL + snapshot persistence at this path.
     Durable(PathBuf),
+    /// N durable nodes behind the broker, with WAL shipping and failover,
+    /// rooted at this path.
+    Replicated(usize, PathBuf),
 }
 
 /// Builds any eXACML+ backend behind one API.
@@ -57,6 +62,7 @@ pub struct BackendBuilder {
     deploy_on_partial_result: bool,
     merge: MergeOptions,
     share_plans: bool,
+    replication: usize,
 }
 
 impl BackendBuilder {
@@ -69,6 +75,7 @@ impl BackendBuilder {
             deploy_on_partial_result: false,
             merge: MergeOptions::default(),
             share_plans: true,
+            replication: 1,
         }
     }
 
@@ -146,6 +153,30 @@ impl BackendBuilder {
     #[must_use]
     pub fn durable(path: impl Into<PathBuf>) -> Self {
         BackendBuilder::new(Shape::Durable(path.into()), TopologyPreset::Local)
+    }
+
+    /// An N-node **replicated** durable fabric rooted at `path`, on
+    /// loopback links: every node journals to its own WAL + snapshot store,
+    /// the journal's bytes are shipped to K peer hosts
+    /// ([`BackendBuilder::replicate`], default K = 1), and when a host dies
+    /// a surviving peer replays the shipped journal and re-mints the dead
+    /// node's handles at their recorded URIs — scenario code keeps its
+    /// grants across a node loss without changing a line.
+    ///
+    /// The directories are created fresh; `path` must not already hold
+    /// stores.
+    #[must_use]
+    pub fn replicated(nodes: usize, path: impl Into<PathBuf>) -> Self {
+        BackendBuilder::new(Shape::Replicated(nodes.max(1), path.into()), TopologyPreset::Local)
+    }
+
+    /// Replication factor K for the replicated shape: each node's journal
+    /// is mirrored onto K peer hosts (clamped to `nodes - 1`; 0 disables
+    /// replication and with it failover). Ignored by the other shapes.
+    #[must_use]
+    pub fn replicate(mut self, k: usize) -> Self {
+        self.replication = k;
+        self
     }
 
     /// Override the deployment topology the simulated links are drawn from.
@@ -249,6 +280,14 @@ impl BackendBuilder {
                 let config = self.durable_config();
                 Arc::new(DurableServer::open(path, config)?)
             }
+            Shape::Replicated(nodes, ref path) => {
+                let config = ReplicatedConfig::new(nodes, path)
+                    .with_topology(self.topology.clone())
+                    .with_seed(self.seed)
+                    .with_replication(self.replication)
+                    .with_durable_template(self.durable_config());
+                Arc::new(ReplicatedFabric::create(config)?)
+            }
         })
     }
 
@@ -309,6 +348,28 @@ mod tests {
             )
             .and_then(|_| recovered.handle_request(&Request::subscribe("LTA", "weather"), None));
         assert!(granted.is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replicated_shape_builds_and_survives_a_host_kill_through_the_trait() {
+        let dir =
+            std::env::temp_dir().join(format!("exacml-builder-replicated-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = BackendBuilder::replicated(3, &dir).replicate(1).with_seed(11).build();
+        assert_eq!(backend.backend_kind(), "fabric-replicated");
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend
+            .load_policy(
+                StreamPolicyBuilder::new("p", "weather")
+                    .subject("LTA")
+                    .filter("rainrate > 5")
+                    .build(),
+            )
+            .unwrap();
+        let granted = backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert!(backend.handle_is_live(granted.handle()));
+        assert!(backend.health().degraded_nodes.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -57,9 +57,9 @@
 //! builder line changed.
 //!
 //! [`BackendBuilder`] constructs every shape (`local()`, `server()`,
-//! `fabric(n)`, `paper_testbed(n)`, `public_cloud(n)`, `durable(path)`);
-//! [`Session`] owns a subject's identity and live grants and releases them
-//! RAII-style on drop.
+//! `fabric(n)`, `paper_testbed(n)`, `public_cloud(n)`, `durable(path)`,
+//! `replicated(n, path)`); [`Session`] owns a subject's identity and live
+//! grants and releases them RAII-style on drop.
 //!
 //! # Durability
 //!
@@ -68,8 +68,13 @@
 //! store over plain `std::fs`, and the same builder line *recovers* the
 //! store after a crash — policies, live handles (same URIs), guard state
 //! and the audit trail come back; `examples/durable_restart.rs` shows the
-//! kill/recover cycle. The record format and crash-consistency guarantees
-//! are specified in `docs/RECOVERY.md`; where every layer sits is mapped in
+//! kill/recover cycle. `BackendBuilder::replicated(n, path)` goes further:
+//! a fabric of N durable nodes whose journals ship to K peer hosts, so a
+//! *node loss* (not just a restart) keeps every acknowledged grant — a
+//! surviving peer replays the shipped journal and re-mints the dead node's
+//! handles at their recorded URIs ([`exacml_durable::ReplicatedFabric`]).
+//! The record format and crash-consistency guarantees are specified in
+//! `docs/RECOVERY.md`; where every layer sits is mapped in
 //! `docs/ARCHITECTURE.md`.
 //!
 //! # Migrating from the `ClientInterface` entry point
@@ -172,13 +177,17 @@ pub mod prelude {
     pub use crate::query::{Query, QuerySubscription};
     pub use crate::session::Session;
     pub use exacml_dsms::{AggFunc, AggSpec, WindowSpec};
-    pub use exacml_durable::{DurableConfig, DurableServer, RecoveryReport, TopologyPreset};
-    pub use exacml_plus::{
-        AccessControl, AccessResponse, Backend, BackendResponse, DataServer, ExacmlError, Fabric,
-        FabricConfig, MergeOptions, PlanId, PolicyAdmin, ServerConfig, StreamBackend,
-        StreamPolicyBuilder, Subscription, TaggedAuditEvent, UserQuery, Warning, WarningKind,
+    pub use exacml_durable::{
+        DurableConfig, DurableServer, FailMode, RecoveryReport, ReplicatedConfig, ReplicatedFabric,
+        TopologyPreset, WalFailpoint,
     };
-    pub use exacml_simnet::{NodeId, Topology};
+    pub use exacml_plus::{
+        AccessControl, AccessResponse, Backend, BackendHealth, BackendResponse, DataServer,
+        ExacmlError, Fabric, FabricConfig, MergeOptions, PlanId, PolicyAdmin, RetryPolicy,
+        RobustnessStats, ServerConfig, StreamBackend, StreamPolicyBuilder, Subscription,
+        TaggedAuditEvent, UserQuery, Warning, WarningKind,
+    };
+    pub use exacml_simnet::{Fault, FaultPlan, NodeId, TimedFault, Topology};
     pub use exacml_workload::{GpsFeed, WeatherFeed};
     pub use exacml_xacml::{Policy, Request};
 }

@@ -2,9 +2,11 @@
 //!
 //! Every test body here is written **once** against `&dyn Backend` and
 //! executed for every deployment shape — a single in-process `DataServer`,
-//! a 3-node brokering `Fabric`, and a disk-backed `DurableServer` — pinning
-//! the promise of the unified backend API: scenario code cannot tell one
-//! node from N, nor memory from disk. Covered: register/push/subscribe,
+//! a 3-node brokering `Fabric`, a disk-backed `DurableServer`, and a 3-node
+//! `ReplicatedFabric` of durable stores with WAL shipping — pinning the
+//! promise of the unified backend API: scenario code cannot tell one node
+//! from N, nor memory from disk, nor a fabric that can lose a host from one
+//! that cannot. Covered: register/push/subscribe,
 //! policy churn (load / update / remove with graph withdrawal), release
 //! edge cases (unknown and double releases are no-ops), unified
 //! unknown-handle errors, reuse semantics, the single-access guard, and
@@ -25,12 +27,13 @@ fn durable_store_dir() -> std::path::PathBuf {
     dir
 }
 
-/// The three backend shapes every test runs against.
+/// The four backend shapes every test runs against.
 fn backends() -> Vec<Arc<dyn Backend>> {
     vec![
         BackendBuilder::local().build(),
         BackendBuilder::fabric(3).build(),
         BackendBuilder::durable(durable_store_dir()).build(),
+        BackendBuilder::replicated(3, durable_store_dir()).build(),
     ]
 }
 

@@ -276,6 +276,122 @@ fn snapshot_compaction_preserves_shared_plan_replay() {
 }
 
 // ---------------------------------------------------------------------------
+// Injected disk faults: the WAL failpoint shim drives the failure modes a
+// real disk produces, and the server's contract is the same for all of them
+// — the journal goes sticky, every later mutation is refused with a typed
+// error, reads keep working, and recovery replays the readable prefix.
+// ---------------------------------------------------------------------------
+
+/// The disk fills mid-append: the record is torn at the byte where space
+/// ran out, the journal refuses everything afterwards, and recovery keeps
+/// exactly the acknowledged prefix — the torn record never replays.
+#[test]
+fn disk_full_mid_append_refuses_mutations_and_recovery_keeps_the_prefix() {
+    let store = fresh_store("disk-full");
+    let schema = Schema::weather_example().shared();
+    let handle_uri = {
+        let server = DurableServer::create(&store, DurableConfig::local()).unwrap();
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.load_policy(rain_policy("p", "weather", "LTA", 5.0)).unwrap();
+        let granted = server.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+
+        // Room for part of one more record, then the device is full.
+        server.install_wal_failpoint(FailMode::DiskFull { remaining: 24 });
+        let batch: Vec<Tuple> = (0..4).map(|i| weather_tuple(&schema, i, 10.0)).collect();
+        let err = server.push_batch("weather", batch).unwrap_err();
+        assert!(matches!(err, ExacmlError::Durability(_)), "typed failure, got {err:?}");
+
+        // The journal is sticky: every mutating plane refuses from now on.
+        assert!(matches!(
+            server.load_policy(rain_policy("q", "weather", "EMA", 9.0)),
+            Err(ExacmlError::Durability(_))
+        ));
+        assert!(matches!(
+            server.push("weather", weather_tuple(&schema, 9, 10.0)),
+            Err(ExacmlError::Durability(_))
+        ));
+        // ...and the degradation is observable, not just an error string.
+        let failure = server.journal_failure().expect("health must surface the failure");
+        assert!(failure.contains("no space left"), "got {failure}");
+        assert!(Backend::health(&server).is_degraded());
+        // Reads are untouched: the grant is still live in memory.
+        assert!(server
+            .inner()
+            .handle_is_live(&StreamHandle::from_uri(granted.handle().uri().to_string())));
+        granted.handle().uri().to_string()
+    };
+
+    // The torn bytes really reached the file; recovery cuts them and keeps
+    // every acknowledged record before the failed append.
+    let recovered = DurableServer::recover(&store).unwrap();
+    assert!(recovered.recovery_report().torn_tail.is_some());
+    assert_eq!(recovered.policy_count(), 1);
+    assert_eq!(recovered.live_grants().len(), 1);
+    assert!(recovered.inner().handle_is_live(&StreamHandle::from_uri(handle_uri)));
+    assert_eq!(recovered.inner().engine_stats().tuples_ingested, 0);
+    // The recovered store is healthy and journals again.
+    assert!(recovered.journal_failure().is_none());
+    recovered.push("weather", weather_tuple(&schema, 0, 10.0)).unwrap();
+}
+
+/// A sticky I/O error (controller death, remounted-read-only filesystem):
+/// nothing more reaches the disk, so the server must refuse mutations
+/// without corrupting what is already readable.
+#[test]
+fn sticky_io_error_keeps_the_readable_prefix_uncorrupted() {
+    let store = fresh_store("sticky");
+    {
+        let server = DurableServer::create(&store, DurableConfig::local()).unwrap();
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.load_policy(rain_policy("p", "weather", "LTA", 5.0)).unwrap();
+        server.flush_journal().unwrap();
+
+        server.install_wal_failpoint(FailMode::Sticky { message: "I/O error (injected)".into() });
+        assert!(matches!(
+            server.handle_request(&Request::subscribe("LTA", "weather"), None),
+            Err(ExacmlError::Durability(_))
+        ));
+        assert!(matches!(
+            server.load_policy(rain_policy("q", "weather", "EMA", 9.0)),
+            Err(ExacmlError::Durability(_))
+        ));
+        let health = Backend::health(&server);
+        assert!(health.journal_failure.is_some());
+        // In-memory reads still serve: accountability does not go dark.
+        assert_eq!(server.policy_count(), 1);
+        assert!(!server.inner().audit_events().is_empty());
+    }
+
+    // Nothing after the failure was acknowledged, so recovery sees exactly
+    // the pre-failure world: one policy, no grant from the refused request.
+    let recovered = DurableServer::recover(&store).unwrap();
+    assert_eq!(recovered.policy_count(), 1);
+    assert!(recovered.live_grants().is_empty());
+    assert!(recovered.journal_failure().is_none());
+}
+
+/// A write torn mid-record (power loss while the page cache drains): the
+/// prefix of the record is on disk, recovery must detect and cut it.
+#[test]
+fn torn_write_mid_record_is_cut_on_recovery() {
+    let store = fresh_store("torn-inject");
+    {
+        let server = DurableServer::create(&store, DurableConfig::local()).unwrap();
+        server.register_stream("weather", Schema::weather_example()).unwrap();
+        server.install_wal_failpoint(FailMode::TornWrite { keep: 17 });
+        assert!(matches!(
+            server.load_policy(rain_policy("p", "weather", "LTA", 5.0)),
+            Err(ExacmlError::Durability(_))
+        ));
+    }
+    let recovered = DurableServer::recover(&store).unwrap();
+    assert!(recovered.recovery_report().torn_tail.is_some());
+    assert_eq!(recovered.policy_count(), 0, "the torn policy record must not replay");
+    // The stream registration before the torn record survived.
+    assert!(recovered.inner().engine().catalog().contains("weather"));
+}
+
+// ---------------------------------------------------------------------------
 // Replay equivalence: recover(journal(ops)) ≡ apply(ops) in memory
 // ---------------------------------------------------------------------------
 
