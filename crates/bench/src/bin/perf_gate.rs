@@ -135,6 +135,17 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
             metrics.push((key.to_string(), value));
         }
     }
+    // The batched-routing scaling ratios (PR 8), present when the report is
+    // a `fabric_scale` one: the worst virtual-time throughput ratio when
+    // the node count doubles (min over topologies × {ingest, requests}).
+    // Virtual-time readings are deterministic per seed and machine-
+    // independent, so each ratio is also held to the absolute 1.0 floor
+    // below — doubling the fabric must never lose throughput.
+    for key in ["fabric_monotonic_1_2", "fabric_monotonic_2_4", "fabric_monotonic_4_8"] {
+        if let Some(value) = report.get(key).and_then(Value::as_f64) {
+            metrics.push((key.to_string(), value));
+        }
+    }
     metrics
 }
 
@@ -146,11 +157,17 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
 /// subscribers" pin from the plan-sharing PR), and owner failover must
 /// recover **every** grant the dead host owned (the zero-acknowledged-
 /// grant-loss pin from the replication PR — 1.0 is the contract, not a
-/// target).
-const ABSOLUTE_FLOORS: [(&str, f64); 3] = [
+/// target), and every fabric node-doubling must keep at least the
+/// throughput it had before doubling (the monotonic-scaling pin from the
+/// batched-routing PR, measured in deterministic virtual time so the floor
+/// holds on any machine).
+const ABSOLUTE_FLOORS: [(&str, f64); 6] = [
     ("ingest_durable_vs_direct", 0.5),
     ("merged_retention_at_100", 1.0 / 3.0),
     ("failover_recovery", 1.0),
+    ("fabric_monotonic_1_2", 1.0),
+    ("fabric_monotonic_2_4", 1.0),
+    ("fabric_monotonic_4_8", 1.0),
 ];
 
 fn main() -> ExitCode {

@@ -30,7 +30,7 @@
 
 use crate::audit::AuditEvent;
 use crate::error::ExacmlError;
-use crate::fabric::{Fabric, FabricConfig, FabricSubscription};
+use crate::fabric::{DeliveredTuple, Fabric, FabricConfig, FabricSubscription};
 use crate::metrics::RobustnessStats;
 use crate::server::{AccessResponse, DataServer, ServerConfig};
 use crate::user_query::UserQuery;
@@ -146,9 +146,19 @@ impl Subscription {
     /// the shared virtual clock until all in-flight deliveries have arrived,
     /// so the caller never has to know the backend simulates a network.
     pub fn drain(&mut self) -> Vec<Tuple> {
+        self.drain_settled().into_iter().map(|d| d.tuple).collect()
+    }
+
+    /// Every delivery settled so far, **with** its arrival metadata: pull
+    /// everything derived, then (on a fabric) advance the shared virtual
+    /// clock until nothing remains in flight. In-process channels have no
+    /// network to settle — each tuple reports zero latency — so callers
+    /// flush in-flight delivery identically on every backend shape instead
+    /// of matching on the enum to find a fabric.
+    pub fn drain_settled(&mut self) -> Vec<DeliveredTuple> {
         match self {
-            Subscription::Local(rx) => rx.try_iter().collect(),
-            Subscription::Fabric(sub) => sub.drain_settled().into_iter().map(|d| d.tuple).collect(),
+            Subscription::Local(rx) => rx.try_iter().map(DeliveredTuple::in_process).collect(),
+            Subscription::Fabric(sub) => sub.drain_settled(),
         }
     }
 
@@ -168,6 +178,33 @@ impl Subscription {
             Subscription::Local(_) => None,
             Subscription::Fabric(sub) => Some(sub),
         }
+    }
+}
+
+/// One stream's slice of a multi-stream ingest call: the unit
+/// [`StreamBackend::push_batches`] routes. On a fabric, batches sharing an
+/// owner node travel as **one** broker→node frame, which is what makes
+/// batched routing amortise the per-hop latency sample.
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// Target stream name.
+    pub stream: String,
+    /// Source tuples for that stream.
+    pub tuples: Vec<Tuple>,
+}
+
+impl StreamBatch {
+    /// A batch of tuples bound for one stream.
+    #[must_use]
+    pub fn new(stream: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        StreamBatch { stream: stream.into(), tuples }
+    }
+
+    /// Approximate wire size of the batch: its tuples plus a small framing
+    /// overhead for the stream name.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        self.tuples.iter().map(Tuple::approx_size_bytes).sum::<usize>() + self.stream.len() + 16
     }
 }
 
@@ -197,6 +234,24 @@ pub trait StreamBackend: Send + Sync {
     /// # Errors
     /// Fails when the stream is unknown or any tuple malformed.
     fn push_batch(&self, stream: &str, tuples: Vec<Tuple>) -> Result<usize, ExacmlError>;
+
+    /// Push batches for **several streams** in one call. Single-node
+    /// backends apply them in order; a fabric groups them by owner node and
+    /// ships one broker→node frame per `(node, call)` group, so producers
+    /// feeding many streams pay one routed hop per node instead of one per
+    /// stream. Returns the total number of derived tuples emitted.
+    ///
+    /// # Errors
+    /// Fails when a stream is unknown or a tuple malformed; batches applied
+    /// before the failing one stay applied (identical to issuing the same
+    /// sequence of [`StreamBackend::push_batch`] calls).
+    fn push_batches(&self, batches: Vec<StreamBatch>) -> Result<usize, ExacmlError> {
+        let mut emitted = 0;
+        for batch in batches {
+            emitted += self.push_batch(&batch.stream, batch.tuples)?;
+        }
+        Ok(emitted)
+    }
 
     /// Subscribe to the derived tuples behind a granted handle.
     ///
@@ -443,6 +498,10 @@ impl StreamBackend for Fabric {
 
     fn push_batch(&self, stream: &str, tuples: Vec<Tuple>) -> Result<usize, ExacmlError> {
         Fabric::push_batch(self, stream, tuples)
+    }
+
+    fn push_batches(&self, batches: Vec<StreamBatch>) -> Result<usize, ExacmlError> {
+        Fabric::push_batches(self, batches)
     }
 
     fn subscribe(&self, handle: &StreamHandle) -> Result<Subscription, ExacmlError> {

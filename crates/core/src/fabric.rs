@@ -25,15 +25,16 @@
 //!   it, FIFO per link — end-to-end latency therefore includes the network,
 //!   as two thirds of the paper's measured latency did.
 
-use crate::backend::{BackendResponse, TaggedAuditEvent};
+use crate::backend::{BackendResponse, StreamBatch, TaggedAuditEvent};
 use crate::error::ExacmlError;
 use crate::metrics::RobustnessStats;
+use crate::router::ShardedMap;
 use crate::server::{DataServer, ServerConfig};
 use crate::user_query::UserQuery;
 use exacml_dsms::{Schema, StreamHandle, Tuple};
 use exacml_simnet::{Clock, FaultPlan, LinkSpec, ManualClock, NodeId, SimLink, Topology};
 use exacml_xacml::{Policy, Request};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -160,13 +161,29 @@ impl FabricConfig {
     }
 }
 
+/// The broker→node ingest side of one node: a [`SimLink`] carrying whole
+/// [`StreamBatch`] frames plus the node's single-threaded apply loop. The
+/// surrounding `Mutex` **is** the apply loop — a real node applies its
+/// ingest RPCs in arrival order, one at a time, while other nodes' pipelines
+/// drain concurrently.
+struct IngestPipeline {
+    link: SimLink<StreamBatch>,
+}
+
 /// One data-server node of the fabric.
 pub struct FabricNode {
     id: NodeId,
     server: Arc<DataServer>,
     alive: AtomicBool,
+    /// Samples this node's broker ↔ node request/response delays. Per-node,
+    /// so routing to different nodes never serialises on a shared RNG.
+    rng: Mutex<StdRng>,
+    /// The node's ingest queue (broker→node link + FIFO apply loop).
+    ingest: Mutex<IngestPipeline>,
     requests_routed: AtomicU64,
     tuples_routed: AtomicU64,
+    ingest_hops: AtomicU64,
+    ingest_network_nanos: AtomicU64,
 }
 
 impl FabricNode {
@@ -192,6 +209,67 @@ impl FabricNode {
     #[must_use]
     pub fn tuples_routed(&self) -> u64 {
         self.tuples_routed.load(Ordering::Relaxed)
+    }
+
+    /// Broker→node ingest frames shipped to this node — one per routed
+    /// `(node, batch-call)` group, however many tuples the frame carried.
+    /// `tuples_routed / ingest_hops` is therefore the amortisation factor
+    /// batched routing achieves over per-tuple shipping.
+    #[must_use]
+    pub fn ingest_hops(&self) -> u64 {
+        self.ingest_hops.load(Ordering::Relaxed)
+    }
+
+    /// Simulated network time the node's ingest frames spent on the wire.
+    #[must_use]
+    pub fn ingest_network(&self) -> Duration {
+        Duration::from_nanos(self.ingest_network_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The virtual instant this node's ingest pipe goes idle (the
+    /// serialising-queue frontier of its broker→node link, propagation
+    /// excluded). `frontier − start` across an ingest run is the node's
+    /// simulated busy time; the max over nodes is the fabric's ingest
+    /// makespan — the quantity a real N-node deployment's throughput is
+    /// bounded by, and what the scaling bench divides tuple counts by.
+    #[must_use]
+    pub fn ingest_frontier_nanos(&self) -> u64 {
+        self.ingest.lock().link.service_frontier_nanos()
+    }
+
+    /// Ship a group of stream batches to this node as **one frame** on its
+    /// ingest link (a single sampled propagation delay for the group,
+    /// serialisation per batch, the frame queueing behind the pipe's
+    /// in-progress service), then apply the node's queue in arrival (FIFO)
+    /// order under the pipeline lock — the node's single-threaded apply
+    /// loop. Returns the number of derived tuples the node's engine
+    /// emitted.
+    ///
+    /// On error (unknown stream, malformed tuple) the remaining batches of
+    /// the frame are **not** applied and the queue is left empty — a frame
+    /// either lands whole or fails typed partway with nothing lingering.
+    fn apply_ingest_frame(
+        &self,
+        now_nanos: u64,
+        batches: Vec<StreamBatch>,
+    ) -> Result<usize, ExacmlError> {
+        let mut pipeline = self.ingest.lock();
+        let items: Vec<(usize, StreamBatch)> =
+            batches.into_iter().map(|batch| (batch.wire_bytes(), batch)).collect();
+        pipeline.link.send_batch_queued(now_nanos, items);
+        let queued = pipeline.link.drain_ready(u64::MAX);
+        let mut emitted = 0;
+        let mut last_arrival = now_nanos;
+        for (arrival, batch) in queued {
+            let count = batch.tuples.len() as u64;
+            emitted += self.server.push_batch(&batch.stream, batch.tuples)?;
+            self.tuples_routed.fetch_add(count, Ordering::Relaxed);
+            last_arrival = last_arrival.max(arrival);
+        }
+        self.ingest_hops.fetch_add(1, Ordering::Relaxed);
+        self.ingest_network_nanos
+            .fetch_add(last_arrival.saturating_sub(now_nanos), Ordering::Relaxed);
+        Ok(emitted)
     }
 
     /// Whether the broker currently considers this node alive. Dead nodes
@@ -225,6 +303,15 @@ impl DeliveredTuple {
     #[must_use]
     pub fn latency(&self) -> Duration {
         Duration::from_nanos(self.arrived_at_nanos - self.sent_at_nanos)
+    }
+
+    /// A tuple that never crossed a simulated link (in-process delivery):
+    /// sent and arrived at the same instant, zero latency. Lets the unified
+    /// [`crate::backend::Subscription::drain_settled`] report uniform
+    /// delivery records whatever the backend shape.
+    #[must_use]
+    pub fn in_process(tuple: Tuple) -> Self {
+        DeliveredTuple { tuple, sent_at_nanos: 0, arrived_at_nanos: 0 }
     }
 }
 
@@ -269,9 +356,14 @@ impl FabricSubscription {
     /// advance the fabric clock and poll again to receive them.
     pub fn poll(&mut self) -> Vec<DeliveredTuple> {
         let now = self.clock.now_nanos();
-        for tuple in self.rx.try_iter() {
-            let bytes = tuple.approx_size_bytes();
-            self.link.send(now, bytes, (now, tuple));
+        // Everything derived since the last poll leaves the node as one
+        // frame: a single sampled propagation delay for the group, each
+        // tuple paying its own serialisation on top (batched fan-back,
+        // mirroring the broker→node ingest frames).
+        let pending: Vec<(usize, (u64, Tuple))> =
+            self.rx.try_iter().map(|tuple| (tuple.approx_size_bytes(), (now, tuple))).collect();
+        if !pending.is_empty() {
+            self.link.send_batch(now, pending);
         }
         let ready = self.link.drain_ready(now);
         self.delivered += ready.len() as u64;
@@ -328,6 +420,10 @@ pub struct FabricStats {
     pub requests_routed: u64,
     /// Source tuples routed to owner nodes.
     pub tuples_routed: u64,
+    /// Broker→node ingest frames shipped (one per routed `(node, batch)`
+    /// group). `tuples_routed / ingest_hops` is the batching amortisation
+    /// factor — per-tuple shipping would make the two counters equal.
+    pub ingest_hops: u64,
     /// Per-node policy-store operations fanned out by the broker
     /// (`nodes × (adds + removes + updates)`).
     pub policy_propagations: u64,
@@ -344,13 +440,12 @@ pub struct Fabric {
     clock: ManualClock,
     /// Stream → owning node index, recorded at registration and consulted
     /// first by every routing decision; unregistered streams fall back to
-    /// the rendezvous hash (which registration also used).
-    placements: RwLock<HashMap<String, usize>>,
+    /// the rendezvous hash (which registration also used). Sharded so
+    /// concurrent lookups for different streams touch different locks.
+    placements: ShardedMap<String, usize>,
     /// Granted handle → owning node index (populated on grant, consulted by
-    /// subscribe/release).
-    handles: RwLock<HashMap<StreamHandle, usize>>,
-    /// Samples broker ↔ node request/response delays.
-    rng: Mutex<StdRng>,
+    /// subscribe/release). Sharded like the placement table.
+    handles: ShardedMap<StreamHandle, usize>,
     /// Seeds handed to per-subscription links, derived deterministically.
     next_link_seed: AtomicU64,
     streams_placed: AtomicU64,
@@ -364,31 +459,49 @@ impl Fabric {
     /// node-specific seed.
     #[must_use]
     pub fn new(config: FabricConfig) -> Self {
+        // Derived seeds mix in the node count, so two fabrics sharing a base
+        // seed but differing in shape sample *different* delay sequences —
+        // identical-looking delivery stats across scale-out scenarios were
+        // a measurement artifact of sharing the seed stream.
+        let shape_salt = (config.nodes as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let nodes = (0..config.nodes)
             .map(|i| {
+                let node_id = NodeId::Server(i as u16);
                 let node_config = ServerConfig {
                     topology: config.topology.clone(),
                     seed: config.seed.wrapping_add(1 + i as u64),
                     dsms_host: format!("node{i}"),
                     ..config.server_template.clone()
                 };
+                let ingest_spec: LinkSpec = config.topology.link(NodeId::DataServer, node_id);
                 FabricNode {
-                    id: NodeId::Server(i as u16),
+                    id: node_id,
                     server: Arc::new(DataServer::new(node_config)),
                     alive: AtomicBool::new(true),
+                    rng: Mutex::new(StdRng::seed_from_u64(
+                        config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(shape_salt) ^ i as u64,
+                    )),
+                    ingest: Mutex::new(IngestPipeline {
+                        link: SimLink::new(
+                            ingest_spec,
+                            config.seed.wrapping_add(shape_salt).wrapping_add(0xbeef + i as u64),
+                        ),
+                    }),
                     requests_routed: AtomicU64::new(0),
                     tuples_routed: AtomicU64::new(0),
+                    ingest_hops: AtomicU64::new(0),
+                    ingest_network_nanos: AtomicU64::new(0),
                 }
             })
             .collect();
-        let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9));
         Fabric {
             clock: ManualClock::new(),
             nodes,
-            placements: RwLock::new(HashMap::new()),
-            handles: RwLock::new(HashMap::new()),
-            rng: Mutex::new(rng),
-            next_link_seed: AtomicU64::new(config.seed.wrapping_add(0xf00d)),
+            placements: ShardedMap::new(),
+            handles: ShardedMap::new(),
+            next_link_seed: AtomicU64::new(
+                config.seed.wrapping_add(0xf00d).wrapping_add(shape_salt),
+            ),
             streams_placed: AtomicU64::new(0),
             policy_propagations: AtomicU64::new(0),
             broker_retries: AtomicU64::new(0),
@@ -428,6 +541,7 @@ impl Fabric {
             streams_placed: self.streams_placed.load(Ordering::Relaxed),
             requests_routed: self.nodes.iter().map(FabricNode::requests_routed).sum(),
             tuples_routed: self.nodes.iter().map(FabricNode::tuples_routed).sum(),
+            ingest_hops: self.nodes.iter().map(FabricNode::ingest_hops).sum(),
             policy_propagations: self.policy_propagations.load(Ordering::Relaxed),
         }
     }
@@ -447,7 +561,7 @@ impl Fabric {
         // The placement recorded at registration is authoritative; the
         // rendezvous hash (identical at registration time) covers streams
         // that were never registered, so owner prediction still works.
-        if let Some(&index) = self.placements.read().get(&canonical) {
+        if let Some(index) = self.placements.get(&canonical) {
             return index;
         }
         rendezvous_owner(&canonical, self.nodes.len())
@@ -460,32 +574,32 @@ impl Fabric {
     fn node_for_handle(&self, handle: &StreamHandle) -> Result<&FabricNode, ExacmlError> {
         let index = self
             .handles
-            .read()
             .get(handle)
-            .copied()
             .ok_or_else(|| ExacmlError::UnknownHandle(handle.uri().to_string()))?;
         Ok(&self.nodes[index])
     }
 
-    /// Sample the simulated broker → node → broker round trip. Active
-    /// latency spikes from the fault plan multiply the sampled delay.
+    /// Sample the simulated broker → node → broker round trip on the node's
+    /// own RNG (routing to different nodes never serialises on a shared
+    /// RNG). Active latency spikes from the fault plan multiply the sample.
     fn broker_round_trip(
         &self,
-        node: NodeId,
+        node: &FabricNode,
         request_bytes: usize,
         reply_bytes: usize,
     ) -> Duration {
-        let mut rng = self.rng.lock();
+        let mut rng = node.rng.lock();
         let sampled = self.config.topology.round_trip(
             NodeId::DataServer,
-            node,
+            node.id,
             request_bytes,
             reply_bytes,
             &mut *rng,
         );
         match &self.config.fault_plan {
             Some(plan) => {
-                let factor = plan.latency_factor(NodeId::DataServer, node, self.clock.now_nanos());
+                let factor =
+                    plan.latency_factor(NodeId::DataServer, node.id, self.clock.now_nanos());
                 sampled.mul_f64(factor.max(0.0))
             }
             None => sampled,
@@ -602,26 +716,25 @@ impl Fabric {
         let index = self.owner_index(name);
         self.ensure_reachable(index)?;
         self.nodes[index].server.register_stream(name, schema)?;
-        self.placements.write().insert(name.to_ascii_lowercase(), index);
+        self.placements.insert(name.to_ascii_lowercase(), index);
         self.streams_placed.fetch_add(1, Ordering::Relaxed);
         Ok(self.nodes[index].id)
     }
 
-    /// Push one source tuple to the stream's owner node.
+    /// Push one source tuple to the stream's owner node. A lone tuple is a
+    /// one-message frame — it pays the full per-hop latency sample that
+    /// [`Fabric::push_batches`] amortises over a whole group.
     ///
     /// # Errors
     /// Fails when the stream is unknown on its owner, the tuple malformed,
     /// or the owner node unreachable ([`ExacmlError::NodeUnavailable`]) —
     /// ingest to a dead node is a typed error, never a silent drop.
     pub fn push(&self, stream: &str, tuple: Tuple) -> Result<usize, ExacmlError> {
-        self.ensure_reachable(self.owner_index(stream))?;
-        let node = self.node_for_stream(stream);
-        let emitted = node.server.push(stream, tuple)?;
-        node.tuples_routed.fetch_add(1, Ordering::Relaxed);
-        Ok(emitted)
+        self.push_batches(vec![StreamBatch::new(stream, vec![tuple])])
     }
 
-    /// Push a batch of source tuples to the stream's owner node.
+    /// Push a batch of source tuples to the stream's owner node as one
+    /// broker→node frame.
     ///
     /// # Errors
     /// Fails when the stream is unknown on its owner, any tuple malformed,
@@ -631,12 +744,48 @@ impl Fabric {
         stream: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, ExacmlError> {
-        self.ensure_reachable(self.owner_index(stream))?;
-        let batch: Vec<Tuple> = tuples.into_iter().collect();
-        let count = batch.len() as u64;
-        let node = self.node_for_stream(stream);
-        let emitted = node.server.push_batch(stream, batch)?;
-        node.tuples_routed.fetch_add(count, Ordering::Relaxed);
+        self.push_batches(vec![StreamBatch::new(stream, tuples.into_iter().collect())])
+    }
+
+    /// Route a multi-stream ingest call: group the batches by their
+    /// rendezvous-hashed owner and ship **one broker→node frame per
+    /// `(node, call)` group** instead of one hop per tuple. Each targeted
+    /// node samples a single propagation delay for its frame, applies the
+    /// group FIFO under its own ingest lock, and different nodes' pipelines
+    /// drain concurrently — this is the batched routing that makes fabric
+    /// ingest scale monotonically with the node count.
+    ///
+    /// Every targeted owner is probed *before* anything is applied, so a
+    /// multi-node call either starts landing or fails typed with no node
+    /// touched. Returns the total number of derived tuples emitted by the
+    /// nodes' engines.
+    ///
+    /// # Errors
+    /// Fails when any targeted owner is unreachable
+    /// ([`ExacmlError::NodeUnavailable`]), a stream is unknown on its
+    /// owner, or a tuple is malformed. When a batch inside a frame fails,
+    /// that node's earlier batches in the frame have already been applied
+    /// (exactly as separate `push_batch` calls would have), and the error
+    /// propagates.
+    pub fn push_batches(&self, batches: Vec<StreamBatch>) -> Result<usize, ExacmlError> {
+        let mut per_node: HashMap<usize, Vec<StreamBatch>> = HashMap::new();
+        for batch in batches {
+            if batch.tuples.is_empty() {
+                continue;
+            }
+            per_node.entry(self.owner_index(&batch.stream)).or_default().push(batch);
+        }
+        let mut owners: Vec<usize> = per_node.keys().copied().collect();
+        owners.sort_unstable();
+        for &index in &owners {
+            self.ensure_reachable(index)?;
+        }
+        let now = self.clock.now_nanos();
+        let mut emitted = 0;
+        for &index in &owners {
+            let group = per_node.remove(&index).expect("grouped above");
+            emitted += self.nodes[index].apply_ingest_frame(now, group)?;
+        }
         Ok(emitted)
     }
 
@@ -661,10 +810,10 @@ impl Fabric {
         let node = &self.nodes[index];
         let request_bytes = exacml_xacml::xml::write_request(request).len()
             + user_query.map_or(0, |q| q.to_xml().len());
-        let broker_network = self.broker_round_trip(node.id, request_bytes, 128);
+        let broker_network = self.broker_round_trip(node, request_bytes, 128);
         node.requests_routed.fetch_add(1, Ordering::Relaxed);
         let response = node.server.handle_request(request, user_query)?;
-        self.handles.write().insert(response.handle.clone(), index);
+        self.handles.insert(response.handle.clone(), index);
         Ok(FabricResponse { node: node.id, response, broker_network })
     }
 
@@ -688,9 +837,7 @@ impl Fabric {
     /// Drop routing entries whose deployment is gone, so grant/release and
     /// policy churn do not grow the handle map without bound.
     fn prune_dead_handles(&self) {
-        self.handles
-            .write()
-            .retain(|handle, index| self.nodes[*index].server.handle_is_live(handle));
+        self.handles.retain(|handle, index| self.nodes[*index].server.handle_is_live(handle));
     }
 
     /// Whether a granted handle still points at a live deployment on its
@@ -723,7 +870,7 @@ impl Fabric {
                 // change): evict the routing entry and report the handle as
                 // unknown, exactly as for a handle never granted here.
                 if matches!(error, ExacmlError::Dsms(exacml_dsms::DsmsError::UnknownHandle(_))) {
-                    self.handles.write().remove(handle);
+                    self.handles.remove(handle);
                     return Err(ExacmlError::UnknownHandle(handle.uri().to_string()));
                 }
                 return Err(error);
@@ -879,7 +1026,7 @@ impl Fabric {
     /// tracks the live-handle population rather than growing with churn.
     #[must_use]
     pub fn routed_handles(&self) -> usize {
-        self.handles.read().len()
+        self.handles.len()
     }
 }
 

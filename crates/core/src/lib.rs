@@ -51,6 +51,7 @@ pub mod merge;
 pub mod metrics;
 pub mod obligations;
 pub mod proxy;
+pub mod router;
 pub mod server;
 pub mod shared_plan;
 pub mod user_query;
@@ -60,7 +61,7 @@ pub use access_guard::AccessGuard;
 pub use audit::{AuditEvent, AuditEventKind, AuditLog};
 pub use backend::{
     AccessControl, Backend, BackendHealth, BackendResponse, PolicyAdmin, StreamBackend,
-    Subscription, TaggedAuditEvent,
+    StreamBatch, Subscription, TaggedAuditEvent,
 };
 pub use client::{ClientInterface, RequestResult};
 pub use error::ExacmlError;
@@ -72,6 +73,7 @@ pub use merge::{merge_graphs, MergeOptions, MergeOutcome};
 pub use metrics::{RequestTiming, RobustnessStats, TimingBreakdown};
 pub use obligations::{graph_from_obligations, obligations_from_graph, StreamPolicyBuilder};
 pub use proxy::{Proxy, ProxyStats};
+pub use router::ShardedMap;
 pub use server::{AccessResponse, DataServer, ServerConfig};
 pub use shared_plan::{PlanCache, PlanId};
 pub use user_query::{UserAggregation, UserQuery};
@@ -82,7 +84,7 @@ pub mod prelude {
     pub use crate::access_guard::AccessGuard;
     pub use crate::backend::{
         AccessControl, Backend, BackendHealth, BackendResponse, PolicyAdmin, StreamBackend,
-        Subscription, TaggedAuditEvent,
+        StreamBatch, Subscription, TaggedAuditEvent,
     };
     pub use crate::client::{ClientInterface, RequestResult};
     pub use crate::error::ExacmlError;

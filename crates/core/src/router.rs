@@ -1,0 +1,206 @@
+//! Sharded broker routing tables.
+//!
+//! The routing broker fronts every fabric request with two control-plane
+//! lookups: *stream → owner node* (placement) and *handle → owner node*
+//! (routing). With a single `RwLock<HashMap>` those lookups serialise on one
+//! lock word even though reads vastly outnumber writes and keys are
+//! independent — the same bottleneck the engine's window store had before it
+//! was sharded (PR 2). [`ShardedMap`] applies the identical cure at the
+//! broker: keys are spread over a fixed power-of-two number of
+//! independently locked shards by an FNV-1a hash, so concurrent lookups for
+//! different streams (the common case: every client talks about its own
+//! streams) touch different locks and control-plane throughput scales with
+//! the number of nodes instead of collapsing onto one word.
+//!
+//! Invariants:
+//! - A key lives on exactly one shard (pure function of the key's hash), so
+//!   `insert`/`remove`/`get` for one key always agree on a lock and the map
+//!   behaves exactly like a single `HashMap` under a single lock.
+//! - Cross-shard operations (`len`, `retain`, `snapshot`) take the shard
+//!   locks one at a time and therefore observe a *per-shard*-consistent
+//!   view, which is all the broker needs (it never requires a global
+//!   point-in-time snapshot — handles and placements are independently
+//!   owned).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Number of shards. A small power of two: enough to spread 1–8 nodes'
+/// worth of concurrent brokering, cheap enough to iterate for `retain`.
+const SHARDS: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A hash map sharded over independently locked segments, used for the
+/// broker's placement (stream → node) and routing (handle → node) tables.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap { shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+}
+
+impl<K: ShardKey + Eq + Hash, V: Clone> ShardedMap<K, V> {
+    /// An empty sharded map.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardedMap::default()
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        &self.shards[(key.shard_hash() as usize) & (SHARDS - 1)]
+    }
+
+    /// Look up a key under its shard's read lock.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Whether the key is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Insert a key, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    /// Remove a key, returning its value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Total number of entries across every shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Keep only the entries for which the predicate holds, shard by shard.
+    /// Returns how many entries were dropped.
+    pub fn retain(&self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            let before = guard.len();
+            guard.retain(|k, v| keep(k, v));
+            dropped += before - guard.len();
+        }
+        dropped
+    }
+
+    /// Clone every entry out, shard by shard (per-shard consistent).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.read().iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        all
+    }
+}
+
+/// How a key picks its shard. FNV-1a over a stable byte representation so
+/// shard assignment is deterministic across processes and runs.
+pub trait ShardKey {
+    /// A stable hash of the key used only for shard selection.
+    fn shard_hash(&self) -> u64;
+}
+
+/// FNV-1a over raw bytes.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl ShardKey for String {
+    fn shard_hash(&self) -> u64 {
+        // Case-insensitive to match the broker's stream-name semantics:
+        // "Weather" and "weather" are the same stream, so they must share a
+        // shard as well as an owner.
+        let mut hash = FNV_OFFSET;
+        for byte in self.bytes() {
+            hash ^= u64::from(byte.to_ascii_lowercase());
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+}
+
+impl ShardKey for exacml_dsms::StreamHandle {
+    fn shard_hash(&self) -> u64 {
+        fnv1a(self.uri().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_hash_map() {
+        let map: ShardedMap<String, usize> = ShardedMap::new();
+        assert!(map.is_empty());
+        for i in 0..200 {
+            assert_eq!(map.insert(format!("stream{i}"), i), None);
+        }
+        assert_eq!(map.len(), 200);
+        assert_eq!(map.get(&"stream7".to_string()), Some(7));
+        assert_eq!(map.insert("stream7".to_string(), 70), Some(7));
+        assert_eq!(map.remove(&"stream7".to_string()), Some(70));
+        assert_eq!(map.get(&"stream7".to_string()), None);
+        assert!(!map.contains_key(&"stream7".to_string()));
+        assert_eq!(map.len(), 199);
+    }
+
+    #[test]
+    fn retain_drops_across_shards() {
+        let map: ShardedMap<String, usize> = ShardedMap::new();
+        for i in 0..100 {
+            map.insert(format!("s{i}"), i);
+        }
+        let dropped = map.retain(|_, v| v % 2 == 0);
+        assert_eq!(dropped, 50);
+        assert_eq!(map.len(), 50);
+        assert!(map.snapshot().iter().all(|(_, v)| v % 2 == 0));
+    }
+
+    #[test]
+    fn keys_spread_over_more_than_one_shard() {
+        // Not a uniformity proof — just that the FNV split actually splits.
+        let map: ShardedMap<String, ()> = ShardedMap::new();
+        for i in 0..64 {
+            map.insert(format!("stream{i}"), ());
+        }
+        let populated = map.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > SHARDS / 2, "only {populated} shards populated");
+    }
+
+    #[test]
+    fn case_insensitive_stream_keys_share_a_shard() {
+        assert_eq!("Weather".to_string().shard_hash(), "weather".to_string().shard_hash());
+    }
+}

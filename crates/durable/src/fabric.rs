@@ -33,8 +33,8 @@ use crate::server::{DurableConfig, DurableServer};
 use exacml_dsms::{Schema, StreamHandle, Tuple};
 use exacml_plus::{
     rendezvous_owner, AccessControl, Backend, BackendHealth, BackendResponse, ExacmlError,
-    FabricSubscription, PolicyAdmin, RetryPolicy, RobustnessStats, StreamBackend, Subscription,
-    TaggedAuditEvent, UserQuery,
+    FabricSubscription, PolicyAdmin, RetryPolicy, RobustnessStats, ShardedMap, StreamBackend,
+    StreamBatch, Subscription, TaggedAuditEvent, UserQuery,
 };
 use exacml_simnet::{Clock, FaultPlan, ManualClock, NodeId, SimLink, Topology};
 use exacml_xacml::{Policy, Request};
@@ -175,7 +175,9 @@ pub struct ReplicatedFabric {
     /// Physical host `p` → alive?
     hosts_alive: Vec<AtomicBool>,
     /// Granted handle → owning *logical* node (stable across failover).
-    handles: RwLock<HashMap<StreamHandle, usize>>,
+    /// Sharded like the plain fabric's broker tables, so concurrent
+    /// subscribe/release lookups for different handles never serialise.
+    handles: ShardedMap<StreamHandle, usize>,
     /// Samples broker↔node and shipping delays.
     rng: Mutex<StdRng>,
     next_link_seed: AtomicU64,
@@ -214,7 +216,7 @@ impl ReplicatedFabric {
             slots,
             shippers,
             hosts_alive: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
-            handles: RwLock::new(HashMap::new()),
+            handles: ShardedMap::new(),
             rng: Mutex::new(rng),
             next_link_seed: AtomicU64::new(config.seed.wrapping_add(0xf00d)),
             crashes_applied: Mutex::new(HashSet::new()),
@@ -633,6 +635,40 @@ impl ReplicatedFabric {
         Ok(emitted)
     }
 
+    /// Route a multi-stream ingest call: group the batches by their
+    /// rendezvous-hashed logical owner and land each group on its node in
+    /// **one** call — one slot lookup (with at most one lazy failover
+    /// probe), one journal session, and one shipper-ledger update per
+    /// `(node, call)` group instead of one per stream. WAL shipping
+    /// therefore amortises over the whole group, the batched counterpart of
+    /// the plain fabric's one-frame-per-node routing.
+    ///
+    /// # Errors
+    /// As [`ReplicatedFabric::push_batch`]; batches applied before a
+    /// failing one stay applied (and journaled) exactly as separate calls
+    /// would have left them.
+    pub fn push_batches(&self, batches: Vec<StreamBatch>) -> Result<usize, ExacmlError> {
+        let mut per_node: HashMap<usize, Vec<StreamBatch>> = HashMap::new();
+        for batch in batches {
+            if batch.tuples.is_empty() {
+                continue;
+            }
+            per_node.entry(self.owner_index(&batch.stream)).or_default().push(batch);
+        }
+        let mut owners: Vec<usize> = per_node.keys().copied().collect();
+        owners.sort_unstable();
+        let mut emitted = 0;
+        for &owner in &owners {
+            let group = per_node.remove(&owner).expect("grouped above");
+            let server = self.server_of(owner)?;
+            for batch in group {
+                emitted += DurableServer::push_batch(&server, &batch.stream, batch.tuples)?;
+            }
+            self.note_ingest(owner, 1);
+        }
+        Ok(emitted)
+    }
+
     /// Count an ingest append and ship the batch once the threshold is
     /// reached.
     fn note_ingest(&self, logical: usize, appends: u64) {
@@ -668,7 +704,7 @@ impl ReplicatedFabric {
             + user_query.map_or(0, |q| q.to_xml().len());
         let broker_network = self.broker_round_trip(host, request_bytes);
         let response = DurableServer::handle_request(&server, request, user_query)?;
-        self.handles.write().insert(response.response.handle.clone(), owner);
+        self.handles.insert(response.response.handle.clone(), owner);
         self.ship_node(owner, true);
         Ok(BackendResponse {
             node: NodeId::Server(owner as u16),
@@ -686,9 +722,7 @@ impl ReplicatedFabric {
         let released = DurableServer::release_access(&server, subject, stream);
         if released {
             self.ship_node(owner, true);
-            self.handles
-                .write()
-                .retain(|handle, &mut index| index != owner || server.handle_is_live(handle));
+            self.handles.retain(|handle, &index| index != owner || server.handle_is_live(handle));
         }
         released
     }
@@ -697,7 +731,7 @@ impl ReplicatedFabric {
     /// *including* after a failover re-minted it on another host.
     #[must_use]
     pub fn handle_is_live(&self, handle: &StreamHandle) -> bool {
-        let Some(&owner) = self.handles.read().get(handle) else { return false };
+        let Some(owner) = self.handles.get(handle) else { return false };
         self.server_of(owner).is_ok_and(|server| server.handle_is_live(handle))
     }
 
@@ -712,16 +746,14 @@ impl ReplicatedFabric {
     pub fn subscribe(&self, handle: &StreamHandle) -> Result<FabricSubscription, ExacmlError> {
         let owner = self
             .handles
-            .read()
             .get(handle)
-            .copied()
             .ok_or_else(|| ExacmlError::UnknownHandle(handle.uri().to_string()))?;
         let server = self.server_of(owner)?;
         let rx = match server.inner().subscribe(handle) {
             Ok(rx) => rx,
             Err(error) => {
                 if matches!(error, ExacmlError::Dsms(exacml_dsms::DsmsError::UnknownHandle(_))) {
-                    self.handles.write().remove(handle);
+                    self.handles.remove(handle);
                     return Err(ExacmlError::UnknownHandle(handle.uri().to_string()));
                 }
                 return Err(error);
@@ -808,8 +840,7 @@ impl ReplicatedFabric {
     }
 
     fn prune_dead_handles(&self) {
-        let mut handles = self.handles.write();
-        handles.retain(|handle, &mut owner| {
+        self.handles.retain(|handle, &owner| {
             let slot = self.slots[owner].read();
             self.host_is_alive(slot.host) && slot.server.handle_is_live(handle)
         });
@@ -897,6 +928,10 @@ impl StreamBackend for ReplicatedFabric {
 
     fn push_batch(&self, stream: &str, tuples: Vec<Tuple>) -> Result<usize, ExacmlError> {
         ReplicatedFabric::push_batch(self, stream, tuples)
+    }
+
+    fn push_batches(&self, batches: Vec<StreamBatch>) -> Result<usize, ExacmlError> {
+        ReplicatedFabric::push_batches(self, batches)
     }
 
     fn subscribe(&self, handle: &StreamHandle) -> Result<Subscription, ExacmlError> {

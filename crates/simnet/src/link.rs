@@ -100,8 +100,11 @@ impl LinkSpec {
         Duration::from_secs_f64(seconds)
     }
 
-    /// Sample the total one-way delay for a message of `bytes` bytes.
-    pub fn sample_delay<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> Duration {
+    /// Sample the propagation latency (base + jitter + tail) for one frame,
+    /// **excluding** serialisation cost. Messages sharing a frame — a batch
+    /// shipped as one broker→node hop — share a single propagation sample
+    /// and pay serialisation per message on top.
+    pub fn sample_latency<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
         let mut latency_us = match self.model {
             LatencyModel::Constant => self.base_latency_us,
             LatencyModel::Uniform => {
@@ -133,7 +136,12 @@ impl LinkSpec {
         if latency_us < 0.0 {
             latency_us = 0.0;
         }
-        Duration::from_secs_f64(latency_us / 1e6) + self.serialisation_delay(bytes)
+        Duration::from_secs_f64(latency_us / 1e6)
+    }
+
+    /// Sample the total one-way delay for a message of `bytes` bytes.
+    pub fn sample_delay<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> Duration {
+        self.sample_latency(rng) + self.serialisation_delay(bytes)
     }
 
     /// The mean one-way delay for a message of `bytes` bytes (ignoring the
@@ -210,6 +218,15 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn frame_latency_excludes_serialisation() {
+        let link = LinkSpec::constant(500.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let latency = link.sample_latency(&mut rng);
+        assert_eq!(latency, Duration::from_micros(500));
+        assert_eq!(latency + link.serialisation_delay(1_250), link.sample_delay(1_250, &mut rng));
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub struct SimLink<T> {
     rng: StdRng,
     queue: DeliveryQueue<T>,
     last_arrival_nanos: u64,
+    service_frontier_nanos: u64,
 }
 
 impl<T> SimLink<T> {
@@ -123,6 +124,7 @@ impl<T> SimLink<T> {
             rng: StdRng::seed_from_u64(seed),
             queue: DeliveryQueue::new(),
             last_arrival_nanos: 0,
+            service_frontier_nanos: 0,
         }
     }
 
@@ -140,6 +142,67 @@ impl<T> SimLink<T> {
         self.last_arrival_nanos = arrival;
         self.queue.enqueue(arrival, item);
         arrival
+    }
+
+    /// Send a batch of messages as **one frame** at (virtual) time
+    /// `now_nanos`. The whole frame pays a single sampled propagation delay;
+    /// each message then pays its own serialisation cost *cumulatively* (the
+    /// wire transmits the frame back-to-back), so arrivals stay distinct,
+    /// strictly ordered within the frame, and FIFO with respect to earlier
+    /// sends. Returns the arrival time of each message, in input order.
+    ///
+    /// This is what makes batched broker→node routing cheaper than per-tuple
+    /// shipping: `n` tuples in one frame sample the latency model once
+    /// instead of `n` times, exactly like one RPC carrying `n` records.
+    pub fn send_batch(&mut self, now_nanos: u64, items: Vec<(usize, T)>) -> Vec<u64> {
+        let frame_latency = self.spec.sample_latency(&mut self.rng);
+        let mut offset = frame_latency;
+        let mut arrivals = Vec::with_capacity(items.len());
+        for (bytes, item) in items {
+            offset += self.spec.serialisation_delay(bytes);
+            let arrival = (now_nanos + offset.as_nanos() as u64).max(self.last_arrival_nanos);
+            self.last_arrival_nanos = arrival;
+            self.queue.enqueue(arrival, item);
+            arrivals.push(arrival);
+        }
+        arrivals
+    }
+
+    /// Send a frame through the link's **serialising queue** model: the
+    /// frame's messages occupy the pipe back-to-back starting no earlier
+    /// than the pipe's current service frontier (a busy pipe delays the next
+    /// frame — service time accumulates across frames), while the single
+    /// sampled propagation latency is paid once per frame *after* each
+    /// message leaves the pipe. Returns the arrival times in input order.
+    ///
+    /// Contrast with [`SimLink::send_batch`], whose frames only FIFO-order
+    /// against earlier traffic without queueing behind it: that models an
+    /// uncongested wire, this models a bandwidth-bound server-side pipeline
+    /// (a node's single-threaded ingest apply loop). The
+    /// [`SimLink::service_frontier_nanos`] after a run is the virtual
+    /// instant the pipe goes idle, so `frontier − start` is the pipeline's
+    /// busy time — the quantity an N-way-sharded deployment divides by N.
+    pub fn send_batch_queued(&mut self, now_nanos: u64, items: Vec<(usize, T)>) -> Vec<u64> {
+        let frame_latency = self.spec.sample_latency(&mut self.rng).as_nanos() as u64;
+        let mut service = now_nanos.max(self.service_frontier_nanos);
+        let mut arrivals = Vec::with_capacity(items.len());
+        for (bytes, item) in items {
+            service += self.spec.serialisation_delay(bytes).as_nanos() as u64;
+            let arrival = (service + frame_latency).max(self.last_arrival_nanos);
+            self.last_arrival_nanos = arrival;
+            self.queue.enqueue(arrival, item);
+            arrivals.push(arrival);
+        }
+        self.service_frontier_nanos = service;
+        arrivals
+    }
+
+    /// The virtual instant the link's serialising pipe goes idle: the
+    /// service frontier advanced by every [`SimLink::send_batch_queued`]
+    /// frame so far (propagation excluded — latency is not occupancy).
+    #[must_use]
+    pub fn service_frontier_nanos(&self) -> u64 {
+        self.service_frontier_nanos
     }
 
     /// Deliver every message that has arrived by `now_nanos`, in arrival
@@ -213,6 +276,53 @@ mod tests {
         assert_eq!(link.in_flight(), 1);
         assert!(link.drain_ready(599_999).is_empty());
         assert_eq!(link.drain_ready(600_000).len(), 1);
+    }
+
+    #[test]
+    fn batched_send_shares_one_latency_sample() {
+        // Deterministic link: per-message sends pay 500 µs latency each;
+        // a batch frame pays it once plus cumulative serialisation.
+        let mut link = SimLink::new(LinkSpec::constant(500.0, 100.0), 1);
+        let arrivals = link.send_batch(0, vec![(1_250, "a"), (1_250, "b"), (1_250, "c")]);
+        // 500 µs + k * 100 µs serialisation.
+        assert_eq!(arrivals, vec![600_000, 700_000, 800_000]);
+        // Distinct, strictly increasing arrivals within the frame.
+        assert!(arrivals.windows(2).all(|w| w[1] > w[0]));
+        let delivered = link.drain_ready(u64::MAX);
+        assert_eq!(delivered.iter().map(|(_, m)| *m).collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn batched_send_stays_fifo_with_earlier_traffic() {
+        let mut link = SimLink::new(LinkSpec::lan_100mbps(), 7);
+        let first = link.send(0, 4_096, 0u64);
+        let batch = link.send_batch(1, (1..100).map(|i| (64usize, i)).collect());
+        assert!(batch[0] >= first, "a later frame overtook in-flight traffic");
+        // Items clamped behind the in-flight message share its arrival tick;
+        // order within the frame is still preserved (non-decreasing).
+        assert!(batch.windows(2).all(|w| w[1] >= w[0]));
+        let order: Vec<u64> = link.drain_ready(u64::MAX).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queued_batches_accumulate_service_not_propagation() {
+        // Deterministic link: 500 µs propagation, 100 µs serialisation per
+        // 1250-byte item. Two back-to-back frames sent at the same instant:
+        // the second frame's items queue behind the first frame's pipe
+        // occupancy, but the propagation latency is paid per frame, never
+        // accumulated into the service frontier.
+        let mut link = SimLink::new(LinkSpec::constant(500.0, 100.0), 1);
+        let first = link.send_batch_queued(0, vec![(1_250, "a"), (1_250, "b")]);
+        assert_eq!(first, vec![600_000, 700_000]);
+        assert_eq!(link.service_frontier_nanos(), 200_000, "pipe busy = serialisation only");
+        let second = link.send_batch_queued(0, vec![(1_250, "c"), (1_250, "d")]);
+        // Service resumes at 200 µs: items release at 300/400 µs, + 500 µs
+        // propagation each.
+        assert_eq!(second, vec![800_000, 900_000]);
+        assert_eq!(link.service_frontier_nanos(), 400_000);
+        let order: Vec<&str> = link.drain_ready(u64::MAX).into_iter().map(|(_, m)| m).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
     }
 
     #[test]

@@ -88,9 +88,10 @@ impl BackendBuilder {
 
     /// A single data server on the paper's coordinator/broker/server
     /// testbed links.
+    #[deprecated(note = "use `BackendBuilder::local().topology(TopologyPreset::PaperTestbed)`")]
     #[must_use]
     pub fn server() -> Self {
-        BackendBuilder::new(Shape::Single, TopologyPreset::PaperTestbed)
+        BackendBuilder::local().topology(TopologyPreset::PaperTestbed)
     }
 
     /// An N-node brokering fabric on loopback links.
@@ -100,16 +101,44 @@ impl BackendBuilder {
     }
 
     /// An N-node fabric on the paper's testbed links.
+    #[deprecated(note = "use `BackendBuilder::fabric(n).topology(TopologyPreset::PaperTestbed)`")]
     #[must_use]
     pub fn paper_testbed(nodes: usize) -> Self {
-        BackendBuilder::new(Shape::Fabric(nodes.max(1)), TopologyPreset::PaperTestbed)
+        BackendBuilder::fabric(nodes).topology(TopologyPreset::PaperTestbed)
     }
 
     /// An N-node fabric whose client-facing hop crosses a WAN (the paper's
     /// "migrate to a commercial cloud" what-if).
+    #[deprecated(note = "use `BackendBuilder::fabric(n).topology(TopologyPreset::PublicCloud)`")]
     #[must_use]
     pub fn public_cloud(nodes: usize) -> Self {
-        BackendBuilder::new(Shape::Fabric(nodes.max(1)), TopologyPreset::PublicCloud)
+        BackendBuilder::fabric(nodes).topology(TopologyPreset::PublicCloud)
+    }
+
+    /// Pick the deployment topology by its named preset — **the** way to
+    /// choose where a backend's simulated links come from, orthogonal to
+    /// the shape constructor:
+    ///
+    /// ```
+    /// use exacml::prelude::*;
+    ///
+    /// let testbed = BackendBuilder::fabric(3).topology(TopologyPreset::PaperTestbed).build();
+    /// let cloud = BackendBuilder::fabric(3).topology(TopologyPreset::PublicCloud).build();
+    /// assert_eq!(testbed.backend_kind(), "fabric-3");
+    /// assert_eq!(cloud.backend_kind(), "fabric-3");
+    /// ```
+    ///
+    /// This replaces the old per-preset constructor fan
+    /// (`server()` / `paper_testbed(n)` / `public_cloud(n)`), which survive
+    /// as deprecated wrappers. Unlike
+    /// [`with_topology`](BackendBuilder::with_topology) (a raw link-table
+    /// override), the preset has a *name*, so durable stores can persist it
+    /// and recover onto the same topology.
+    #[must_use]
+    pub fn topology(mut self, preset: TopologyPreset) -> Self {
+        self.topology = preset.topology();
+        self.preset = preset;
+        self
     }
 
     /// A single data server wrapped in WAL + snapshot persistence rooted at
@@ -319,12 +348,62 @@ mod tests {
     #[test]
     fn builder_shapes_and_kinds() {
         assert_eq!(BackendBuilder::local().build().backend_kind(), "data-server");
-        assert_eq!(BackendBuilder::server().build().backend_kind(), "data-server");
+        assert_eq!(
+            BackendBuilder::local().topology(TopologyPreset::PaperTestbed).build().backend_kind(),
+            "data-server"
+        );
         assert_eq!(BackendBuilder::fabric(4).build().backend_kind(), "fabric-4");
-        assert_eq!(BackendBuilder::paper_testbed(2).build().backend_kind(), "fabric-2");
-        assert_eq!(BackendBuilder::public_cloud(2).build().backend_kind(), "fabric-2");
+        assert_eq!(
+            BackendBuilder::fabric(2).topology(TopologyPreset::PaperTestbed).build().backend_kind(),
+            "fabric-2"
+        );
+        assert_eq!(
+            BackendBuilder::fabric(2).topology(TopologyPreset::PublicCloud).build().backend_kind(),
+            "fabric-2"
+        );
         // A zero-node fabric is clamped to one node rather than panicking.
         assert_eq!(BackendBuilder::fabric(0).build().backend_kind(), "fabric-1");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_preset_constructors_still_build_the_same_backends() {
+        // The old method fan survives as thin wrappers over `.topology()`.
+        assert_eq!(BackendBuilder::server().build().backend_kind(), "data-server");
+        assert_eq!(BackendBuilder::paper_testbed(2).build().backend_kind(), "fabric-2");
+        assert_eq!(BackendBuilder::public_cloud(2).build().backend_kind(), "fabric-2");
+    }
+
+    #[test]
+    fn topology_preset_reaches_the_node_configs() {
+        // The preset's link table (not loopback) must reach the built
+        // backend: a WAN-preset grant pays a visibly larger brokering
+        // round trip than a loopback one.
+        let slow = BackendBuilder::fabric(1).topology(TopologyPreset::PublicCloud).build();
+        let fast = BackendBuilder::fabric(1).build();
+        for backend in [&slow, &fast] {
+            backend.register_stream("weather", Schema::weather_example()).unwrap();
+            backend
+                .load_policy(
+                    StreamPolicyBuilder::new("p", "weather")
+                        .subject("LTA")
+                        .filter("rainrate > 5")
+                        .build(),
+                )
+                .unwrap();
+        }
+        let slow_hop = slow
+            .handle_request(&Request::subscribe("LTA", "weather"), None)
+            .unwrap()
+            .broker_network;
+        let fast_hop = fast
+            .handle_request(&Request::subscribe("LTA", "weather"), None)
+            .unwrap()
+            .broker_network;
+        assert!(
+            slow_hop > fast_hop * 10,
+            "WAN hop {slow_hop:?} should dwarf loopback hop {fast_hop:?}"
+        );
     }
 
     #[test]

@@ -56,10 +56,12 @@
 //! and `examples/backend_swap.rs` is the same scenario twice with only the
 //! builder line changed.
 //!
-//! [`BackendBuilder`] constructs every shape (`local()`, `server()`,
-//! `fabric(n)`, `paper_testbed(n)`, `public_cloud(n)`, `durable(path)`,
-//! `replicated(n, path)`); [`Session`] owns a subject's identity and live
-//! grants and releases them RAII-style on drop.
+//! [`BackendBuilder`] constructs every shape (`local()`, `fabric(n)`,
+//! `durable(path)`, `replicated(n, path)`), with the deployment topology
+//! chosen orthogonally by `.topology(TopologyPreset)` — e.g.
+//! `BackendBuilder::fabric(3).topology(TopologyPreset::PaperTestbed)`;
+//! [`Session`] owns a subject's identity and live grants and releases them
+//! RAII-style on drop.
 //!
 //! # Durability
 //!
@@ -184,8 +186,8 @@ pub mod prelude {
     pub use exacml_plus::{
         AccessControl, AccessResponse, Backend, BackendHealth, BackendResponse, DataServer,
         ExacmlError, Fabric, FabricConfig, MergeOptions, PlanId, PolicyAdmin, RetryPolicy,
-        RobustnessStats, ServerConfig, StreamBackend, StreamPolicyBuilder, Subscription,
-        TaggedAuditEvent, UserQuery, Warning, WarningKind,
+        RobustnessStats, ServerConfig, StreamBackend, StreamBatch, StreamPolicyBuilder,
+        Subscription, TaggedAuditEvent, UserQuery, Warning, WarningKind,
     };
     pub use exacml_simnet::{Fault, FaultPlan, NodeId, TimedFault, Topology};
     pub use exacml_workload::{GpsFeed, WeatherFeed};

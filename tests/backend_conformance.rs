@@ -87,6 +87,59 @@ fn register_push_subscribe_lifecycle() {
     }
 }
 
+/// The batched fan-out entry point and the settled drain are part of the
+/// uniform surface: one `push_batches` call spanning several streams lands
+/// on every shape, and `Subscription::drain_settled` reports delivery
+/// records with consistent ordering invariants whether the tuples crossed
+/// a simulated link (fabric) or an in-process channel (single server).
+#[test]
+fn batched_fan_out_and_settled_drain_are_uniform() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        let schema = Schema::weather_example().shared();
+        let mut subscriptions = Vec::new();
+        for i in 0..4 {
+            let name = format!("stream{i}");
+            backend.register_stream(&name, Schema::weather_example()).unwrap();
+            backend.load_policy(rain_policy(&format!("p{i}"), &name, "LTA")).unwrap();
+            let granted = backend.handle_request(&Request::subscribe("LTA", &name), None).unwrap();
+            subscriptions.push(backend.subscribe(granted.handle()).unwrap());
+        }
+
+        // One trait-level call fans out to every stream (and, on the fabric
+        // shapes, every owner node in one frame per node); empty batches
+        // are dropped silently.
+        let batches: Vec<StreamBatch> = (0..4)
+            .map(|i| {
+                StreamBatch::new(
+                    format!("stream{i}"),
+                    (0..10).map(|k| weather_tuple(&schema, k, 10.0)).collect(),
+                )
+            })
+            .chain(std::iter::once(StreamBatch::new("stream0", Vec::new())))
+            .collect();
+        assert_eq!(backend.push_batches(batches).unwrap(), 40, "{kind}");
+
+        for subscription in &mut subscriptions {
+            let received = subscription.drain_settled();
+            assert_eq!(received.len(), 10, "{kind}: lost or duplicated tuples");
+            // Arrival order is non-decreasing, and arrived ≥ sent always —
+            // in-process delivery settles at zero latency, fabric delivery
+            // after its simulated link.
+            for pair in received.windows(2) {
+                assert!(pair[1].arrived_at_nanos >= pair[0].arrived_at_nanos, "{kind}");
+            }
+            for d in &received {
+                assert!(d.arrived_at_nanos >= d.sent_at_nanos, "{kind}");
+            }
+        }
+
+        // An unknown stream fails the call identically on every shape.
+        let bad = vec![StreamBatch::new("nosuch", vec![weather_tuple(&schema, 0, 9.0)])];
+        assert!(backend.push_batches(bad).is_err(), "{kind}");
+    }
+}
+
 #[test]
 fn policy_churn_withdraws_graphs_and_serves_fresh_obligations() {
     for backend in backends() {

@@ -281,6 +281,83 @@ fn crash_and_fault_windows_from_a_plan_degrade_to_retries() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Batched routing on the replicated fabric: one `push_batches` call spans
+/// every stream, ships one WAL-amortised frame per owner node, and stays
+/// exactly-once with latency-ordered delivery while fault windows (a
+/// broker-link drop riding the retry budget, a latency spike) are active.
+#[test]
+fn batched_push_is_exactly_once_under_fault_windows() {
+    let root = fresh_root("batch");
+    let streams = knob("CHAOS_STREAMS", 6);
+    let per_stream = knob("CHAOS_BATCH_SIZE", 40);
+    let plan = Arc::new(
+        FaultPlan::new()
+            .inject(
+                Fault::LinkDrop { a: NodeId::DataServer, b: NodeId::Server(0) },
+                Duration::from_millis(50),
+                Duration::from_millis(56),
+            )
+            .inject(
+                Fault::LatencySpike { a: NodeId::DataServer, b: NodeId::Server(1), factor: 6.0 },
+                Duration::from_millis(40),
+                Duration::from_millis(200),
+            ),
+    );
+    let fabric = ReplicatedFabric::create(
+        ReplicatedConfig::new(3, &root).with_replication(1).with_seed(11).with_fault_plan(plan),
+    )
+    .unwrap();
+    let schema = Schema::weather_example().shared();
+    let mut subscriptions = Vec::new();
+    for i in 0..streams {
+        let name = format!("s{i}");
+        fabric.register_stream(&name, Schema::weather_example()).unwrap();
+        fabric
+            .load_policy(
+                StreamPolicyBuilder::new(format!("p{i}"), &name).filter("rainrate > 5").build(),
+            )
+            .unwrap();
+        let granted =
+            fabric.handle_request(&Request::subscribe(&format!("u{i}"), &name), None).unwrap();
+        subscriptions.push((i, fabric.subscribe(granted.handle()).unwrap()));
+    }
+
+    // Land the multi-stream fan-out inside both fault windows: the drop
+    // degrades to virtual-time retries, never an error or a partial apply.
+    fabric.advance(Duration::from_millis(51));
+    let batches: Vec<StreamBatch> = (0..streams)
+        .map(|i| {
+            StreamBatch::new(
+                format!("s{i}"),
+                (0..per_stream)
+                    .map(|k| weather_tuple(&schema, (i * 1000 + k) as i64, 10.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    assert_eq!(fabric.push_batches(batches).unwrap(), streams * per_stream);
+    assert!(fabric.robustness().broker_retries > 0, "the drop window must degrade to retries");
+
+    for (i, subscription) in &mut subscriptions {
+        let received = subscription.drain_settled();
+        // Exactly once, in send order, each tuple paying its simulated hop.
+        assert_eq!(received.len(), per_stream, "stream s{i} lost or duplicated tuples");
+        for pair in received.windows(2) {
+            assert!(pair[1].arrived_at_nanos >= pair[0].arrived_at_nanos);
+            assert!(pair[1].tuple.event_time() > pair[0].tuple.event_time());
+        }
+        for d in &received {
+            assert!(d.arrived_at_nanos > d.sent_at_nanos, "delivery must cross the simulated link");
+        }
+    }
+
+    // WAL shipping amortises per frame, not per tuple; the mirrors settle
+    // back to zero lag once replication catches up.
+    fabric.settle_replication();
+    assert_eq!(fabric.replication_lag(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Losing every replica is an error, not a panic — and it is *typed*, so a
 /// broker can distinguish "node gone" from a policy decision.
 #[test]
