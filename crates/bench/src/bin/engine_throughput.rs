@@ -22,6 +22,11 @@
 //!   flushed to the write-ahead log before the push is acknowledged. The
 //!   `durable_vs_direct` ratio is gated by `perf_gate` with an absolute
 //!   floor of 0.5 (WAL-on ingest must stay within 2× of direct ingest).
+//! * **Telemetry overhead** — the same batched `DataServer` ingest with the
+//!   telemetry registry enabled (the default: per-batch spans and sharded
+//!   counters) vs. disabled. The `telemetry_overhead` ratio is gated by
+//!   `perf_gate` with an absolute floor of 0.95: instrumentation must keep
+//!   at least 95% of uninstrumented ingest throughput.
 //!
 //! ```text
 //! cargo run --release -p exacml-bench --bin engine_throughput -- \
@@ -94,6 +99,22 @@ struct DurabilityResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct TelemetryOverheadResult {
+    threads: usize,
+    tuples: usize,
+    /// Batched ingest with the telemetry registry disabled (one relaxed
+    /// atomic load per batch, no clock reads).
+    disabled_tuples_per_sec: f64,
+    /// The same ingest with telemetry enabled — per-batch ingest spans and
+    /// sharded counter updates, the default configuration.
+    enabled_tuples_per_sec: f64,
+    /// enabled / disabled — what observability costs on the hot path.
+    /// Gated by `perf_gate` against the committed baseline *and* an
+    /// absolute floor of 0.95.
+    telemetry_overhead: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     pr: u32,
     bench: String,
@@ -106,6 +127,8 @@ struct ThroughputReport {
     backend_abstraction: AbstractionResult,
     /// Write-ahead-log overhead on the hot ingest path.
     durability: DurabilityResult,
+    /// Observability overhead on the hot ingest path.
+    telemetry: TelemetryOverheadResult,
 }
 
 fn weather_tuples(schema: &Schema, n: usize) -> Vec<Tuple> {
@@ -322,6 +345,48 @@ fn run_durable_ingest(
     }
 }
 
+/// Tuples/sec for `threads` producers pushing batches into a `DataServer`
+/// with its telemetry registry either enabled (the default: per-batch
+/// ingest spans + sharded counters) or disabled. Setup, batching and tuple
+/// stream are identical, so the ratio isolates what instrumentation costs
+/// on the hot path.
+fn run_telemetry_ingest(
+    threads: usize,
+    tuples: &[Tuple],
+    schema: &Schema,
+    batch_size: usize,
+    enabled: bool,
+) -> IngestRow {
+    let server = server_with_deployments(threads, schema);
+    server.telemetry_registry().set_enabled(enabled);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..threads {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                let stream = format!("s{i}");
+                for chunk in tuples.chunks(batch_size) {
+                    server.push_batch(&stream, chunk.to_vec()).unwrap();
+                }
+            });
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let total = tuples.len() * threads;
+    IngestRow {
+        mode: if enabled {
+            "telemetry_enabled_push_batch"
+        } else {
+            "telemetry_disabled_push_batch"
+        }
+        .into(),
+        threads,
+        tuples: total,
+        seconds,
+        tuples_per_sec: total as f64 / seconds,
+    }
+}
+
 fn run_pdp(policies: usize, decisions: usize) -> PdpResult {
     let store = Arc::new(PolicyStore::new());
     for i in 0..policies {
@@ -465,6 +530,29 @@ fn main() {
     );
     ingest.push(durable);
 
+    // Observability overhead at the same thread count: identical batched
+    // ingest with the telemetry registry off vs. on (the default).
+    let disabled =
+        best(&|| run_telemetry_ingest(abstraction_threads, &tuples, &schema, batch_size, false));
+    let enabled =
+        best(&|| run_telemetry_ingest(abstraction_threads, &tuples, &schema, batch_size, true));
+    let telemetry = TelemetryOverheadResult {
+        threads: abstraction_threads,
+        tuples: enabled.tuples,
+        disabled_tuples_per_sec: disabled.tuples_per_sec,
+        enabled_tuples_per_sec: enabled.tuples_per_sec,
+        telemetry_overhead: enabled.tuples_per_sec / disabled.tuples_per_sec,
+    };
+    println!(
+        "  telemetry ({} threads): disabled {:>12.0} t/s | instrumented {:>12.0} t/s ({:.3}x)",
+        telemetry.threads,
+        telemetry.disabled_tuples_per_sec,
+        telemetry.enabled_tuples_per_sec,
+        telemetry.telemetry_overhead,
+    );
+    ingest.push(disabled);
+    ingest.push(enabled);
+
     let report = ThroughputReport {
         pr: 2,
         bench: "engine_throughput".into(),
@@ -474,6 +562,7 @@ fn main() {
         pdp,
         backend_abstraction,
         durability,
+        telemetry,
     };
     let path =
         options.json.unwrap_or_else(|| std::path::PathBuf::from("BENCH_pr2_throughput.json"));

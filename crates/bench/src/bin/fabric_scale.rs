@@ -29,6 +29,7 @@
 
 use exacml_bench::report::{write_json, CliOptions};
 use exacml_dsms::{Schema, Tuple, Value};
+use exacml_durable::TopologyPreset;
 use exacml_plus::backend::StreamBatch;
 use exacml_plus::{Backend, Fabric, FabricConfig, StreamPolicyBuilder};
 use exacml_simnet::{NodeId, Topology};
@@ -308,8 +309,10 @@ fn main() {
     let (request_rounds, tuples_per_stream) = if options.small { (2, 512) } else { (4, 4_096) };
     let node_counts: [usize; 4] = [1, 2, 4, 8];
 
-    let topologies: [(&str, Topology); 2] =
-        [("paper_testbed", Topology::paper_testbed()), ("public_cloud", Topology::public_cloud())];
+    let topologies: [(&str, Topology); 2] = [
+        (TopologyPreset::PaperTestbed.name(), TopologyPreset::PaperTestbed.topology()),
+        (TopologyPreset::PublicCloud.name(), TopologyPreset::PublicCloud.topology()),
+    ];
 
     let mut scenarios = Vec::new();
     println!(

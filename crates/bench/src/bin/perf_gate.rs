@@ -117,6 +117,15 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
     {
         metrics.push(("ingest_durable_vs_direct".to_string(), value));
     }
+    // The observability overhead ratio (PR 9): instrumented vs. telemetry-
+    // disabled `DataServer` ingest on the same workload. Also held to the
+    // absolute 0.95 floor below — per-batch spans and sharded counters must
+    // stay in the noise on the hot path.
+    if let Some(value) =
+        report.get("telemetry").and_then(|t| t.get("telemetry_overhead")).and_then(Value::as_f64)
+    {
+        metrics.push(("telemetry_overhead".to_string(), value));
+    }
     // The shared-plan scaling ratios (PR 6), present when the report is a
     // `merge_scale` one — the gate runs once per report pair and each
     // extractor only finds its own keys. `merged_retention_at_100` is also
@@ -160,9 +169,12 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
 /// target), and every fabric node-doubling must keep at least the
 /// throughput it had before doubling (the monotonic-scaling pin from the
 /// batched-routing PR, measured in deterministic virtual time so the floor
-/// holds on any machine).
-const ABSOLUTE_FLOORS: [(&str, f64); 6] = [
+/// holds on any machine), and instrumented ingest must keep at least 95%
+/// of telemetry-disabled ingest throughput (the observability-is-free pin
+/// from the telemetry PR).
+const ABSOLUTE_FLOORS: [(&str, f64); 7] = [
     ("ingest_durable_vs_direct", 0.5),
+    ("telemetry_overhead", 0.95),
     ("merged_retention_at_100", 1.0 / 3.0),
     ("failover_recovery", 1.0),
     ("fabric_monotonic_1_2", 1.0),

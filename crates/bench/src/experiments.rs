@@ -4,8 +4,8 @@
 //! over the simulated 100 Mbps testbed), loads the workload policies, replays
 //! a request sequence and records the per-request timing decomposition.
 
+use exacml_durable::TopologyPreset;
 use exacml_plus::{ClientInterface, DataServer, Proxy, ServerConfig, TimingBreakdown};
-use exacml_simnet::Topology;
 use exacml_workload::{ContinuousQuery, RequestSequence, WorkloadGenerator, WorkloadSpec};
 use serde::Serialize;
 use std::sync::Arc;
@@ -35,7 +35,7 @@ pub struct Environment {
 #[must_use]
 pub fn build_environment(spec: &WorkloadSpec, cache: bool) -> Environment {
     let server = Arc::new(DataServer::new(ServerConfig {
-        topology: Topology::paper_testbed(),
+        topology: TopologyPreset::PaperTestbed.topology(),
         seed: spec.seed,
         ..ServerConfig::default()
     }));
@@ -216,7 +216,7 @@ pub fn policy_loading_experiment(n_policies: usize, seed: u64) -> PolicyLoadingR
     spec.n_policies = n_policies;
     spec.seed = seed;
     let server = DataServer::new(ServerConfig {
-        topology: Topology::paper_testbed(),
+        topology: TopologyPreset::PaperTestbed.topology(),
         seed,
         ..ServerConfig::default()
     });

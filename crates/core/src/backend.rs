@@ -36,6 +36,7 @@ use crate::server::{AccessResponse, DataServer, ServerConfig};
 use crate::user_query::UserQuery;
 use exacml_dsms::{DsmsError, Schema, StreamEngine, StreamHandle, Tuple};
 use exacml_simnet::NodeId;
+use exacml_telemetry::TelemetrySnapshot;
 use exacml_xacml::{Policy, Request};
 use serde::Serialize;
 use std::sync::Arc;
@@ -357,6 +358,15 @@ pub trait Backend: StreamBackend + AccessControl + PolicyAdmin {
     fn health(&self) -> BackendHealth {
         BackendHealth::healthy()
     }
+
+    /// A point-in-time telemetry snapshot: event counters and per-stage
+    /// latency histograms (see `docs/OBSERVABILITY.md` for the stage
+    /// taxonomy). Multi-node shapes answer an aggregate whose `nodes` list
+    /// carries one tagged sub-snapshot per node. The default is an empty
+    /// snapshot, correct for shapes that carry no registry.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::default()
+    }
 }
 
 /// Quick constructors so a backend swap is one line:
@@ -483,6 +493,10 @@ impl Backend for DataServer {
             .map(|event| TaggedAuditEvent { node: NodeId::DataServer, event })
             .collect()
     }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry_registry().snapshot_tagged("data-server")
+    }
 }
 
 // --- Fabric: the N-node backend --------------------------------------------
@@ -577,6 +591,10 @@ impl Backend for Fabric {
             replication_lag_records: 0,
             robustness: self.robustness(),
         }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        Fabric::telemetry(self)
     }
 }
 

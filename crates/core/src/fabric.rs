@@ -33,6 +33,7 @@ use crate::server::{DataServer, ServerConfig};
 use crate::user_query::UserQuery;
 use exacml_dsms::{Schema, StreamHandle, Tuple};
 use exacml_simnet::{Clock, FaultPlan, LinkSpec, ManualClock, NodeId, SimLink, Topology};
+use exacml_telemetry::{Metric, Stage, Telemetry, TelemetrySnapshot};
 use exacml_xacml::{Policy, Request};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -267,8 +268,14 @@ impl FabricNode {
             last_arrival = last_arrival.max(arrival);
         }
         self.ingest_hops.fetch_add(1, Ordering::Relaxed);
-        self.ingest_network_nanos
-            .fetch_add(last_arrival.saturating_sub(now_nanos), Ordering::Relaxed);
+        let frame_nanos = last_arrival.saturating_sub(now_nanos);
+        self.ingest_network_nanos.fetch_add(frame_nanos, Ordering::Relaxed);
+        // Frame time is *virtual* (sampled propagation + serialisation), so
+        // it is recorded as a duration, never measured with a wall clock —
+        // the node's snapshot stays deterministic per seed.
+        let telemetry = self.server.telemetry_registry();
+        telemetry.record_nanos(Stage::BrokerRoute, frame_nanos);
+        telemetry.incr(Metric::BrokerFrames);
         Ok(emitted)
     }
 
@@ -324,6 +331,9 @@ pub struct FabricSubscription {
     link: SimLink<(u64, Tuple)>,
     clock: ManualClock,
     delivered: u64,
+    /// When attached, per-tuple virtual delivery latency is recorded here
+    /// under [`Stage::Delivery`].
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl FabricSubscription {
@@ -339,7 +349,16 @@ impl FabricSubscription {
         link: SimLink<(u64, Tuple)>,
         clock: ManualClock,
     ) -> Self {
-        FabricSubscription { node, rx, link, clock, delivered: 0 }
+        FabricSubscription { node, rx, link, clock, delivered: 0, telemetry: None }
+    }
+
+    /// Record each delivered tuple's virtual latency into `telemetry` under
+    /// [`Stage::Delivery`] (brokers pass their registry so fan-back latency
+    /// shows up in the fabric snapshot).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The node the subscribed stream lives on.
@@ -367,14 +386,23 @@ impl FabricSubscription {
         }
         let ready = self.link.drain_ready(now);
         self.delivered += ready.len() as u64;
-        ready
+        let delivered: Vec<DeliveredTuple> = ready
             .into_iter()
             .map(|(arrived_at_nanos, (sent_at_nanos, tuple))| DeliveredTuple {
                 tuple,
                 sent_at_nanos,
                 arrived_at_nanos,
             })
-            .collect()
+            .collect();
+        if let Some(telemetry) = &self.telemetry {
+            for d in &delivered {
+                telemetry.record_nanos(
+                    Stage::Delivery,
+                    d.arrived_at_nanos.saturating_sub(d.sent_at_nanos),
+                );
+            }
+        }
+        delivered
     }
 
     /// Drain **everything** derived so far: pull the node-local channel into
@@ -451,6 +479,10 @@ pub struct Fabric {
     streams_placed: AtomicU64,
     policy_propagations: AtomicU64,
     broker_retries: AtomicU64,
+    /// Broker-level registry: request round-trips ([`Stage::BrokerRoute`]),
+    /// frame counts, and subscription delivery latency. Per-node stages live
+    /// in each node server's own registry; [`Fabric::telemetry`] aggregates.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Fabric {
@@ -505,6 +537,7 @@ impl Fabric {
             streams_placed: AtomicU64::new(0),
             policy_propagations: AtomicU64::new(0),
             broker_retries: AtomicU64::new(0),
+            telemetry: Arc::new(Telemetry::new()),
             config,
         }
     }
@@ -645,6 +678,21 @@ impl Fabric {
             })
             .map(|node| node.id)
             .collect()
+    }
+
+    /// Aggregated telemetry: the broker's own registry (request routing,
+    /// frame counts, delivery latency — all virtual durations) merged with
+    /// every node server's registry, each kept as a node-tagged sub-snapshot
+    /// under `nodes`.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut parts = vec![self.telemetry.snapshot_tagged("broker")];
+        parts.extend(
+            self.nodes
+                .iter()
+                .map(|node| node.server.telemetry_registry().snapshot_tagged(&node.id.to_string())),
+        );
+        TelemetrySnapshot::aggregate(&format!("fabric-{}", self.nodes.len()), parts)
     }
 
     /// Fault-tolerance counters (broker retries; the plain fabric neither
@@ -811,6 +859,8 @@ impl Fabric {
         let request_bytes = exacml_xacml::xml::write_request(request).len()
             + user_query.map_or(0, |q| q.to_xml().len());
         let broker_network = self.broker_round_trip(node, request_bytes, 128);
+        self.telemetry.record(Stage::BrokerRoute, broker_network);
+        self.telemetry.incr(Metric::BrokerFrames);
         node.requests_routed.fetch_add(1, Ordering::Relaxed);
         let response = node.server.handle_request(request, user_query)?;
         self.handles.insert(response.handle.clone(), index);
@@ -884,6 +934,7 @@ impl Fabric {
             link: SimLink::new(link_spec, seed),
             clock: self.clock.clone(),
             delivered: 0,
+            telemetry: Some(Arc::clone(&self.telemetry)),
         })
     }
 
@@ -1388,6 +1439,56 @@ mod tests {
             let NodeId::Server(i) = fabric.owner_of(name) else { panic!("server owner") };
             assert_eq!(rendezvous_owner(name, 5), i as usize);
         }
+    }
+
+    #[test]
+    fn fabric_telemetry_aggregates_node_tagged_snapshots() {
+        let fabric = Fabric::new(FabricConfig::local(2));
+        fabric.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build();
+        fabric.load_policy(policy).unwrap();
+        let granted = fabric.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        let mut subscription = fabric.subscribe(&granted.response.handle).unwrap();
+        let schema = Schema::weather_example().shared();
+        let batch: Vec<Tuple> = (0..8).map(|t| weather_tuple(&schema, t, 9.0)).collect();
+        fabric.push_batch("weather", batch).unwrap();
+        assert!(subscription.poll().is_empty(), "nothing arrives before the clock advances");
+        fabric.advance(Duration::from_secs(1));
+        let delivered = subscription.poll();
+        assert!(!delivered.is_empty());
+
+        let snapshot = fabric.telemetry();
+        assert_eq!(snapshot.node, "fabric-2");
+        let tags: Vec<&str> = snapshot.nodes.iter().map(|part| part.node.as_str()).collect();
+        assert_eq!(tags, ["broker", "server-0", "server-1"]);
+
+        // Top-level counters reconcile with the operations we performed: one
+        // routed request, one ingest frame, eight tuples into the owner node.
+        assert_eq!(snapshot.counter(Metric::Requests), 1);
+        assert_eq!(snapshot.counter(Metric::TuplesIngested), 8);
+        assert_eq!(snapshot.counter(Metric::BrokerFrames), 2, "request route + ingest frame");
+
+        // Stage routing: broker round-trips and deliveries live in the
+        // broker part; ingest frames are recorded on the owning node.
+        let broker = &snapshot.nodes[0];
+        assert_eq!(broker.stage(Stage::BrokerRoute).map(|s| s.count), Some(1));
+        assert_eq!(broker.stage(Stage::Delivery).map(|s| s.count), Some(delivered.len() as u64));
+        let node_ingest: u64 =
+            snapshot.nodes[1..].iter().map(|part| part.counter(Metric::TuplesIngested)).sum();
+        assert_eq!(node_ingest, 8);
+        // The virtual clock, not the wall clock, times broker stages: the
+        // same scenario replays to the same snapshot.
+        let replay = Fabric::new(FabricConfig::local(2));
+        replay.register_stream("weather", Schema::weather_example()).unwrap();
+        let policy =
+            StreamPolicyBuilder::new("p", "weather").subject("LTA").filter("rainrate > 5").build();
+        replay.load_policy(policy).unwrap();
+        replay.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        assert_eq!(
+            replay.telemetry().nodes[0].stage(Stage::BrokerRoute).map(|s| s.total_nanos),
+            broker.stage(Stage::BrokerRoute).map(|s| s.total_nanos),
+        );
     }
 
     #[test]

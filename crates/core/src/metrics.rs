@@ -30,7 +30,10 @@ pub struct RequestTiming {
 
 impl RequestTiming {
     /// The part of the total not attributed to any specific component
-    /// (marshalling, cache lookups, bookkeeping).
+    /// (marshalling, cache lookups, bookkeeping). Saturates at zero when
+    /// the components sum past the measured total — each is measured by its
+    /// own clock pair, so rounding can make them overshoot slightly; a
+    /// Duration underflow panic on that path would take down the request.
     #[must_use]
     pub fn other(&self) -> Duration {
         self.total
@@ -234,7 +237,11 @@ impl TimingBreakdown {
         var.sqrt()
     }
 
-    /// A percentile (0.0–1.0) of the total response time in seconds.
+    /// A percentile of the total response time in seconds. `q` is clamped
+    /// into [0.0, 1.0] — an out-of-range quantile (a caller-computed
+    /// 1.0000001, a negative, or NaN) degrades to the nearest recorded
+    /// sample instead of indexing out of bounds — and an empty breakdown
+    /// answers 0.0.
     #[must_use]
     pub fn percentile_total(&self, q: f64) -> f64 {
         if self.totals.is_empty() {
@@ -294,6 +301,34 @@ mod tests {
         assert!((b.mean_pdp() - 0.001).abs() < 1e-12);
         assert_eq!(b.series_at(0).unwrap().0, 0.010);
         assert!(b.series_at(10).is_none());
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_quantiles_and_answers_empty() {
+        assert_eq!(TimingBreakdown::new().percentile_total(0.5), 0.0);
+        let mut b = TimingBreakdown::new();
+        for total in [10u64, 20, 30, 40] {
+            b.record(&timing(total, 5));
+        }
+        // Out-of-range quantiles degrade to the extremes, NaN to the min.
+        assert!((b.percentile_total(1.5) - 0.040).abs() < 1e-12);
+        assert!((b.percentile_total(-0.3) - 0.010).abs() < 1e-12);
+        assert!((b.percentile_total(f64::NAN) - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn other_saturates_when_components_overshoot_the_total() {
+        // Component clocks can sum past the separately measured total;
+        // `other` must answer zero, not panic on Duration underflow.
+        let t = RequestTiming {
+            pdp: Duration::from_millis(8),
+            query_graph: Duration::from_millis(8),
+            dsms: Duration::from_millis(8),
+            network: Duration::from_millis(8),
+            total: Duration::from_millis(20),
+        };
+        assert_eq!(t.other(), Duration::ZERO);
+        assert_eq!(RequestTiming::default().other(), Duration::ZERO);
     }
 
     #[test]

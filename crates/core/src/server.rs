@@ -28,6 +28,7 @@ use exacml_dsms::{
     streamsql, DeploymentId, QueryGraph, ResidualSpec, Schema, StreamEngine, StreamHandle, Tuple,
 };
 use exacml_simnet::{NodeId, Topology};
+use exacml_telemetry::{Metric, Stage, Telemetry};
 use exacml_xacml::{Decision, Pdp, Policy, PolicyStore, Request};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -185,6 +186,17 @@ impl DataServer {
     #[must_use]
     pub fn engine(&self) -> &Arc<StreamEngine> {
         &self.engine
+    }
+
+    /// The telemetry registry this server and its engine record into: the
+    /// engine's ingest path and the request workflow's stage decomposition
+    /// (PDP / query-graph / DSMS / network — the paper's Figure 6/7 series)
+    /// land in the same counters and histograms. Durable and fabric
+    /// wrappers record their own stages (WAL, shipping, routing) here too,
+    /// so one snapshot covers the whole node.
+    #[must_use]
+    pub fn telemetry_registry(&self) -> &Arc<Telemetry> {
+        self.engine.telemetry_handle()
     }
 
     /// A snapshot of the audit trail (accountability hook — the paper's
@@ -417,6 +429,13 @@ impl DataServer {
         user_query: Option<&UserQuery>,
     ) -> Result<AccessResponse, ExacmlError> {
         let result = self.handle_request_inner(request, user_query, None);
+        let telemetry = self.telemetry_registry();
+        telemetry.incr(Metric::Requests);
+        telemetry.incr(if result.is_ok() {
+            Metric::RequestsGranted
+        } else {
+            Metric::RequestsDenied
+        });
         let subject = request.subject_id();
         let stream = request.resource_id();
         let mut audit = self.audit.lock();
@@ -503,6 +522,7 @@ impl DataServer {
         let pdp_started = Instant::now();
         let decision = self.pdp.evaluate(request);
         let pdp_time = pdp_started.elapsed();
+        self.telemetry_registry().record(Stage::Pdp, pdp_time);
         if decision.decision != Decision::Permit {
             return Err(ExacmlError::AccessDenied {
                 decision: decision.decision.to_string(),
@@ -567,6 +587,7 @@ impl DataServer {
         let input_schema = self.engine.stream_schema(&stream)?;
         let script = streamsql::generate(&outcome.graph, &input_schema);
         let query_graph_time = graph_started.elapsed();
+        self.telemetry_registry().record(Stage::QueryGraph, query_graph_time);
 
         // Step 5: ship the StreamSQL to the DSMS and deploy — through the
         // plan cache, so overlapping grants share one compiled subgraph.
@@ -585,6 +606,8 @@ impl DataServer {
             self.deploy_grant(&policy_graph, &user_graph, &outcome.graph, &input_schema, restore)?;
         let output_schema = self.engine.output_schema(&handle)?;
         let dsms_time = dsms_started.elapsed();
+        self.telemetry_registry().record(Stage::DsmsDeploy, dsms_time);
+        self.telemetry_registry().record(Stage::Network, network);
 
         self.graphs.lock().track(TrackedGraph {
             deployment,
@@ -644,12 +667,21 @@ impl DataServer {
         };
         // The cache lock is held across the deploy: concurrent identical
         // grants serialize here instead of racing into double deployments.
+        let lookup_started = Instant::now();
         let mut plans = self.plans.lock();
         let (plan, deployment) = if self.config.share_plans {
             let key = core.canonical_signature();
-            match plans.acquire(&key) {
-                Some(hit) => hit,
+            let hit = plans.acquire(&key);
+            // The lookup span covers lock wait + canonicalisation + probe,
+            // not the deploy a miss goes on to pay (that is DsmsDeploy).
+            self.telemetry_registry().record(Stage::PlanCacheLookup, lookup_started.elapsed());
+            match hit {
+                Some(hit) => {
+                    self.telemetry_registry().incr(Metric::PlanCacheHits);
+                    hit
+                }
                 None => {
+                    self.telemetry_registry().incr(Metric::PlanCacheMisses);
                     let deployment = self.engine.deploy(&core)?;
                     (plans.insert(key, deployment.id), deployment.id)
                 }
@@ -657,6 +689,8 @@ impl DataServer {
         } else {
             // Unshared mode: every grant gets a private plan under a key no
             // canonical signature can collide with.
+            self.telemetry_registry().record(Stage::PlanCacheLookup, lookup_started.elapsed());
+            self.telemetry_registry().incr(Metric::PlanCacheMisses);
             let deployment = self.engine.deploy(&core)?;
             (plans.insert(format!("#unshared/{}", deployment.id), deployment.id), deployment.id)
         };
@@ -1284,6 +1318,46 @@ mod tests {
         // EMA's release is the last reference: the deployment goes too.
         assert!(server.release_access("EMA", "weather"));
         assert_eq!(server.live_deployments(), 0);
+    }
+
+    #[test]
+    fn telemetry_reproduces_the_request_decomposition() {
+        let server = server_with_weather();
+        let request = Request::subscribe("LTA", "weather");
+        let response = server.handle_request(&request, None).unwrap();
+        // The denied path records into the same registry.
+        assert!(server.handle_request(&Request::subscribe("EMA", "weather"), None).is_err());
+
+        let snapshot = server.telemetry_registry().snapshot();
+        assert_eq!(snapshot.counter(Metric::Requests), 2);
+        assert_eq!(snapshot.counter(Metric::RequestsGranted), 1);
+        assert_eq!(snapshot.counter(Metric::RequestsDenied), 1);
+        assert_eq!(snapshot.counter(Metric::PlanCacheMisses), 1);
+
+        // The paper's Figure 6/7 series — PDP, query graph, DSMS deploy,
+        // network — all present, and consistent with the per-request
+        // RequestTiming the grant itself reported.
+        assert_eq!(snapshot.stage(Stage::Pdp).unwrap().count, 2);
+        assert_eq!(snapshot.stage(Stage::QueryGraph).unwrap().count, 1);
+        assert_eq!(snapshot.stage(Stage::DsmsDeploy).unwrap().count, 1);
+        assert_eq!(snapshot.stage(Stage::Network).unwrap().count, 1);
+        assert_eq!(
+            snapshot.stage(Stage::Network).unwrap().total_nanos,
+            u64::try_from(response.timing.network.as_nanos()).unwrap()
+        );
+        assert!(
+            snapshot.stage(Stage::DsmsDeploy).unwrap().total_nanos
+                <= u64::try_from(response.timing.total.as_nanos()).unwrap()
+        );
+
+        // A plan-cache hit on a second subject under the same policy shape.
+        let server = open_weather_server(true);
+        server.handle_request(&Request::subscribe("a", "weather"), None).unwrap();
+        server.handle_request(&Request::subscribe("b", "weather"), None).unwrap();
+        let snapshot = server.telemetry_registry().snapshot();
+        assert_eq!(snapshot.counter(Metric::PlanCacheHits), 1);
+        assert_eq!(snapshot.counter(Metric::PlanCacheMisses), 1);
+        assert_eq!(snapshot.stage(Stage::PlanCacheLookup).unwrap().count, 2);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use exacml_plus::{
     StreamBatch, Subscription, TaggedAuditEvent, UserQuery,
 };
 use exacml_simnet::{Clock, FaultPlan, ManualClock, NodeId, SimLink, Topology};
+use exacml_telemetry::{Metric, Stage, Telemetry, TelemetrySnapshot};
 use exacml_xacml::{Policy, Request};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -45,7 +46,7 @@ use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a replicated durable fabric.
 #[derive(Debug, Clone)]
@@ -188,6 +189,10 @@ pub struct ReplicatedFabric {
     batches_acked: AtomicU64,
     batches_retried: AtomicU64,
     broker_retries: AtomicU64,
+    /// Broker-level registry: request routing (virtual durations) and
+    /// replica shipping (wall-clock I/O). Per-node stages live in each
+    /// slot server's registry; [`Backend::telemetry`] aggregates.
+    telemetry: Arc<Telemetry>,
 }
 
 impl ReplicatedFabric {
@@ -225,6 +230,7 @@ impl ReplicatedFabric {
             batches_acked: AtomicU64::new(0),
             batches_retried: AtomicU64::new(0),
             broker_retries: AtomicU64::new(0),
+            telemetry: Arc::new(Telemetry::new()),
             config,
         };
         // Attach every mirror now: a node that dies before its first
@@ -511,9 +517,18 @@ impl ReplicatedFabric {
                 self.batches_retried.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            match mirror.ship_from(&slot.server) {
+            // Shipping copies journal bytes — real I/O, timed on the wall
+            // clock like WAL appends (the *round trip* charged below for
+            // sync ships stays on the virtual clock).
+            let started = self.telemetry.is_enabled().then(Instant::now);
+            let shipped = mirror.ship_from(&slot.server);
+            if let Some(started) = started {
+                self.telemetry.record(Stage::ReplicaShip, started.elapsed());
+            }
+            match shipped {
                 Ok(outcome) => {
                     if outcome.shipped_anything() {
+                        self.telemetry.incr(Metric::ReplicaBatchesShipped);
                         self.batches_acked.fetch_add(1, Ordering::Relaxed);
                         if sync {
                             let delay =
@@ -703,6 +718,8 @@ impl ReplicatedFabric {
         let request_bytes = exacml_xacml::xml::write_request(request).len()
             + user_query.map_or(0, |q| q.to_xml().len());
         let broker_network = self.broker_round_trip(host, request_bytes);
+        self.telemetry.record(Stage::BrokerRoute, broker_network);
+        self.telemetry.incr(Metric::BrokerFrames);
         let response = DurableServer::handle_request(&server, request, user_query)?;
         self.handles.insert(response.response.handle.clone(), owner);
         self.ship_node(owner, true);
@@ -1009,6 +1026,17 @@ impl Backend for ReplicatedFabric {
             replication_lag_records: self.replication_lag(),
             robustness: self.robustness(),
         }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut parts = vec![self.telemetry.snapshot_tagged("broker")];
+        parts.extend((0..self.config.nodes).map(|i| {
+            let slot = self.slots[i].read();
+            // Tag by *logical* node: the slot keeps its tag across failover,
+            // so pre- and post-failover snapshots stay diffable.
+            slot.server.inner().telemetry_registry().snapshot_tagged(&format!("node-{i}"))
+        }));
+        TelemetrySnapshot::aggregate("fabric-replicated", parts)
     }
 }
 

@@ -52,6 +52,7 @@ use exacml_plus::{
     TaggedAuditEvent, UserQuery,
 };
 use exacml_simnet::{NodeId, Topology};
+use exacml_telemetry::{Metric, Stage, TelemetrySnapshot};
 use exacml_xacml::xml::{parse_policy, write_policy};
 use exacml_xacml::{Policy, Request};
 use parking_lot::Mutex;
@@ -59,7 +60,7 @@ use serde::Content;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The deployment topologies a durable store can persist by name.
 ///
@@ -726,7 +727,16 @@ impl DurableServer {
     /// Records become durable at the next [`DurableServer::commit`]
     /// (control-plane operations) or group-commit drain (ingest).
     fn append_payload(&self, journal: &mut Journal, payload: &str) -> Result<(), ExacmlError> {
-        if let Err(e) = journal.wal.append_buffered(payload) {
+        // WAL appends are real file I/O, so the wall clock (not the virtual
+        // clock) is the honest measure here.
+        let telemetry = self.inner.telemetry_registry();
+        let started = telemetry.is_enabled().then(Instant::now);
+        let appended = journal.wal.append_buffered(payload);
+        if let Some(started) = started {
+            telemetry.record(Stage::WalAppend, started.elapsed());
+            telemetry.incr(Metric::WalRecords);
+        }
+        if let Err(e) = appended {
             let failure = e.to_string();
             journal.failed = Some(failure.clone());
             return Err(durability("append to WAL", failure));
@@ -742,7 +752,14 @@ impl DurableServer {
     /// with no `Granted` audit entry). Only sound when the group started
     /// with an empty writer buffer — see [`DurableServer::begin_control`].
     fn commit(&self, journal: &mut Journal) -> Result<(), ExacmlError> {
-        if let Err(e) = journal.wal.flush() {
+        let telemetry = self.inner.telemetry_registry();
+        let started = telemetry.is_enabled().then(Instant::now);
+        let flushed = journal.wal.flush();
+        if let Some(started) = started {
+            telemetry.record(Stage::WalFlush, started.elapsed());
+            telemetry.incr(Metric::WalFlushes);
+        }
+        if let Err(e) = flushed {
             let failure = e.to_string();
             journal.failed = Some(failure.clone());
             return Err(durability("flush WAL", failure));
@@ -1147,5 +1164,9 @@ impl Backend for DurableServer {
             replication_lag_records: 0,
             robustness: RobustnessStats::default(),
         }
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry_registry().snapshot_tagged("durable-server")
     }
 }

@@ -109,6 +109,28 @@ impl<C: Clock> Clock for SimClock<C> {
     }
 }
 
+// Every simnet clock can back a telemetry span, so stage timings can be
+// taken against virtual time (deterministic per seed) as easily as against
+// the wall. A blanket `impl<C: Clock> SpanClock for C` would forbid other
+// crates' clocks, so each concrete clock gets its own impl.
+impl exacml_telemetry::SpanClock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
+impl exacml_telemetry::SpanClock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
+impl<C: Clock> exacml_telemetry::SpanClock for SimClock<C> {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +152,19 @@ mod tests {
         c.set_nanos(42);
         assert_eq!(c.now_nanos(), 42);
         assert!((c.now_secs() - 42e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn manual_clock_backs_telemetry_spans() {
+        use exacml_telemetry::{Stage, Telemetry};
+        let clock = ManualClock::new();
+        let telemetry = Telemetry::new();
+        {
+            let _span = telemetry.span_with(Stage::BrokerRoute, &clock);
+            clock.advance(Duration::from_micros(4));
+        }
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.stage(Stage::BrokerRoute).unwrap().total_nanos, 4_000);
     }
 
     #[test]

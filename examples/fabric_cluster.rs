@@ -12,7 +12,7 @@ use exacml::prelude::*;
 use std::time::Duration;
 
 fn main() {
-    let fabric = Fabric::new(FabricConfig::paper_testbed(4));
+    let fabric = Fabric::new(FabricConfig::new(4, TopologyPreset::PaperTestbed.topology()));
     println!("fabric: {} nodes behind the broker", fabric.nodes().len());
 
     // Register a handful of weather stations; the broker places each stream

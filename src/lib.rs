@@ -142,6 +142,7 @@ pub use exacml_durable;
 pub use exacml_expr;
 pub use exacml_plus;
 pub use exacml_simnet;
+pub use exacml_telemetry;
 pub use exacml_workload;
 pub use exacml_xacml;
 
@@ -190,6 +191,7 @@ pub mod prelude {
         Subscription, TaggedAuditEvent, UserQuery, Warning, WarningKind,
     };
     pub use exacml_simnet::{Fault, FaultPlan, NodeId, TimedFault, Topology};
+    pub use exacml_telemetry::{Metric, Stage, StageSnapshot, Telemetry, TelemetrySnapshot};
     pub use exacml_workload::{GpsFeed, WeatherFeed};
     pub use exacml_xacml::{Policy, Request};
 }

@@ -386,3 +386,53 @@ fn policy_xml_round_trips_through_the_trait() {
         assert!(backend.load_policy_xml("<garbage").is_err(), "{kind}");
     }
 }
+
+/// Every shape answers a populated `telemetry()` snapshot whose counters
+/// reconcile with the operations just performed; multi-node shapes answer
+/// node-tagged sub-snapshots whose counters sum to the aggregate.
+#[test]
+fn telemetry_snapshots_reconcile_on_every_shape() {
+    for backend in backends() {
+        let kind = backend.backend_kind();
+        let schema = Schema::weather_example().shared();
+        backend.register_stream("weather", Schema::weather_example()).unwrap();
+        backend.load_policy(rain_policy("p", "weather", "LTA")).unwrap();
+        backend.handle_request(&Request::subscribe("LTA", "weather"), None).unwrap();
+        // A denied request records into the same registry.
+        assert!(backend.handle_request(&Request::subscribe("EMA", "weather"), None).is_err());
+        let batch: Vec<Tuple> = (0..20).map(|k| weather_tuple(&schema, k, 10.0)).collect();
+        assert_eq!(backend.push_batch("weather", batch).unwrap(), 20, "{kind}");
+
+        let snapshot = backend.telemetry();
+        assert_eq!(snapshot.node, kind, "{kind}: snapshot carries the backend kind");
+        assert!(!snapshot.is_empty(), "{kind}");
+        assert_eq!(snapshot.counter(Metric::Requests), 2, "{kind}");
+        assert_eq!(snapshot.counter(Metric::RequestsGranted), 1, "{kind}");
+        assert_eq!(snapshot.counter(Metric::RequestsDenied), 1, "{kind}");
+        assert_eq!(snapshot.counter(Metric::TuplesIngested), 20, "{kind}");
+        assert!(snapshot.counter(Metric::BatchesIngested) >= 1, "{kind}");
+        assert_eq!(snapshot.stage(Stage::Pdp).map(|s| s.count), Some(2), "{kind}");
+        assert!(snapshot.stage(Stage::Ingest).is_some(), "{kind}");
+
+        if kind.starts_with("fabric") {
+            assert!(!snapshot.nodes.is_empty(), "{kind}: fabric snapshots are node-tagged");
+            let node_ingest: u64 =
+                snapshot.nodes.iter().map(|part| part.counter(Metric::TuplesIngested)).sum();
+            assert_eq!(node_ingest, 20, "{kind}: sub-snapshots reconcile with the aggregate");
+            assert!(snapshot.counter(Metric::BrokerFrames) > 0, "{kind}");
+        } else {
+            assert!(snapshot.nodes.is_empty(), "{kind}: single-node snapshots are flat");
+        }
+        if kind == "durable-server" || kind == "fabric-replicated" {
+            assert!(snapshot.counter(Metric::WalRecords) > 0, "{kind}: WAL appends recorded");
+            assert!(snapshot.counter(Metric::WalFlushes) > 0, "{kind}: WAL flushes recorded");
+            assert!(snapshot.stage(Stage::WalAppend).is_some(), "{kind}");
+        }
+        if kind == "fabric-replicated" {
+            assert!(
+                snapshot.counter(Metric::ReplicaBatchesShipped) > 0,
+                "{kind}: journal shipping recorded"
+            );
+        }
+    }
+}

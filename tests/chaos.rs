@@ -18,7 +18,10 @@
 //!
 //! The workload size is overridable so the nightly soak can run the same
 //! invariants at a much larger scale: `CHAOS_STREAMS`, `CHAOS_BATCHES`,
-//! `CHAOS_BATCH_SIZE`, `CHAOS_CHURN_ROUNDS`.
+//! `CHAOS_BATCH_SIZE`, `CHAOS_CHURN_ROUNDS`. When `TELEMETRY_SNAPSHOT_OUT`
+//! names a path, the headline scenario also dumps the fabric's final
+//! telemetry snapshot there as JSON so the nightly workflow can upload it
+//! as a build artifact.
 
 use exacml::exacml_durable::{ReplicatedConfig, ReplicatedFabric};
 use exacml::prelude::*;
@@ -33,6 +36,16 @@ static STORE_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 fn knob(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Soak artifact: when `TELEMETRY_SNAPSHOT_OUT` names a path, write the
+/// suite's final telemetry snapshot there as JSON (see
+/// `docs/OBSERVABILITY.md`); a no-op otherwise.
+fn dump_telemetry_snapshot(snapshot: &TelemetrySnapshot) {
+    let Ok(path) = std::env::var("TELEMETRY_SNAPSHOT_OUT") else { return };
+    let json = serde_json::to_string_pretty(snapshot).expect("snapshot serializes");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("telemetry snapshot written to {path}");
 }
 
 fn fresh_root(tag: &str) -> PathBuf {
@@ -179,6 +192,22 @@ fn killing_a_host_mid_churn_loses_no_grants() {
     let fresh = fabric.handle_request(&Request::subscribe("v", "s1"), None).unwrap();
     assert!(fabric.handle_is_live(fresh.handle()));
     assert!(fabric.release_access("u1", "s1"));
+
+    // The telemetry aggregate keeps answering across the kill. Registries
+    // are in-memory observability, not WAL-backed state: the victim's
+    // pre-kill counts die with its host, so the aggregate covers everything
+    // since the failover but never overcounts the true total.
+    let snapshot = fabric.telemetry();
+    let total_pushed = (streams * batches * batch_size) as u64;
+    let post_kill = (streams * (batches - kill_at) * batch_size) as u64;
+    let ingested = snapshot.counter(Metric::TuplesIngested);
+    assert!(
+        (post_kill..=total_pushed).contains(&ingested),
+        "aggregate ingest count {ingested} outside [{post_kill}, {total_pushed}]"
+    );
+    assert!(snapshot.counter(Metric::WalRecords) > 0);
+    assert!(snapshot.counter(Metric::ReplicaBatchesShipped) > 0);
+    dump_telemetry_snapshot(&snapshot);
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -15,7 +15,9 @@
 //! The workload size is overridable through environment variables so the
 //! nightly CI soak job can run the same invariants at a much larger scale:
 //! `STRESS_STREAMS`, `STRESS_BATCHES_PER_STREAM`, `STRESS_BATCH_SIZE`,
-//! `STRESS_CHURN_ROUNDS`.
+//! `STRESS_CHURN_ROUNDS`. When `TELEMETRY_SNAPSHOT_OUT` names a path, the
+//! suite also dumps the final backend telemetry snapshot there as JSON so
+//! the nightly workflow can upload it as a build artifact.
 
 use exacml::prelude::*;
 use exacml_dsms::{QueryGraph, Schema, Tuple, Value};
@@ -25,6 +27,16 @@ use std::sync::Arc;
 
 fn knob(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Soak artifact: when `TELEMETRY_SNAPSHOT_OUT` names a path, write the
+/// suite's final telemetry snapshot there as JSON (see
+/// `docs/OBSERVABILITY.md`); a no-op otherwise.
+fn dump_telemetry_snapshot(snapshot: &TelemetrySnapshot) {
+    let Ok(path) = std::env::var("TELEMETRY_SNAPSHOT_OUT") else { return };
+    let json = serde_json::to_string_pretty(snapshot).expect("snapshot serializes");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("telemetry snapshot written to {path}");
 }
 
 fn marker_tuple(schema: &Schema, stream_index: usize, sequence: usize) -> Tuple {
@@ -149,4 +161,12 @@ fn producers_and_policy_churn_race_without_losing_tuples() {
     assert_eq!(backend.live_deployments(), streams);
     // All churn policies were removed again.
     assert_eq!(backend.policy_count(), 0);
+
+    // The telemetry registry reconciles with the same totals under full
+    // producer concurrency — the sharded counters lose nothing.
+    let snapshot = backend.telemetry();
+    assert_eq!(snapshot.counter(Metric::TuplesIngested), total_pushed);
+    assert_eq!(snapshot.counter(Metric::BatchesIngested), (streams * batches_per_stream) as u64);
+    assert_eq!(snapshot.counter(Metric::Requests), churn_deployed as u64);
+    dump_telemetry_snapshot(&snapshot);
 }

@@ -1,5 +1,5 @@
 //! Integration tests of the distributed brokering fabric: ≥3 `DataServer`
-//! nodes behind the routing broker on `Topology::paper_testbed()`, driven
+//! nodes behind the routing broker on the paper-testbed topology, driven
 //! through the facade crate. Backend-agnostic semantics (grant/release,
 //! policy churn, audit) are pinned by `tests/backend_conformance.rs`; this
 //! suite covers what is *specific* to the fabric — routing exactness,
@@ -23,7 +23,7 @@ fn marker_tuple(schema: &std::sync::Arc<Schema>, stream_index: usize, sequence: 
 }
 
 fn testbed_fabric() -> (Fabric, Vec<String>) {
-    let fabric = Fabric::new(FabricConfig::paper_testbed(NODES));
+    let fabric = Fabric::new(FabricConfig::new(NODES, TopologyPreset::PaperTestbed.topology()));
     let names: Vec<String> = (0..STREAMS).map(|i| format!("stream{i}")).collect();
     for name in &names {
         fabric.register_stream(name, Schema::weather_example()).unwrap();
@@ -253,7 +253,10 @@ fn batched_routing_survives_fault_windows_exactly_once() {
             Duration::from_millis(50),
             Duration::from_millis(200),
         );
-    let fabric = Fabric::new(FabricConfig::paper_testbed(NODES).with_fault_plan(Arc::new(plan)));
+    let fabric = Fabric::new(
+        FabricConfig::new(NODES, TopologyPreset::PaperTestbed.topology())
+            .with_fault_plan(Arc::new(plan)),
+    );
     let schema = Schema::weather_example().shared();
     let names: Vec<String> = (0..STREAMS).map(|i| format!("stream{i}")).collect();
     let mut subscriptions = Vec::new();

@@ -594,3 +594,47 @@ mod pdp_equivalence {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry histogram merge
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging two latency-histogram snapshots (A ⊎ B) preserves the total
+    /// observation count, the per-bucket sums, the nanosecond totals, and
+    /// the highest occupied bucket — the invariants fabric aggregation
+    /// relies on when it folds node snapshots into one.
+    #[test]
+    fn histogram_merge_preserves_count_and_max_bucket(
+        a in proptest::collection::vec(0u64..1u64 << 48, 0..50),
+        b in proptest::collection::vec(0u64..1u64 << 48, 0..50),
+    ) {
+        use exacml_telemetry::{bucket_of, Log2Histogram};
+
+        let ha = Log2Histogram::new();
+        let hb = Log2Histogram::new();
+        for &nanos in &a {
+            ha.record(nanos);
+        }
+        for &nanos in &b {
+            hb.record(nanos);
+        }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.total_nanos, a.iter().sum::<u64>() + b.iter().sum::<u64>());
+        prop_assert_eq!(merged.max_nanos, a.iter().chain(&b).copied().max().unwrap_or(0));
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+        let expected_max_bucket = a.iter().chain(&b).map(|&nanos| bucket_of(nanos)).max();
+        prop_assert_eq!(merged.max_bucket(), expected_max_bucket);
+        // Merge is commutative bucket-wise.
+        let mut flipped = sb;
+        flipped.merge(&sa);
+        prop_assert_eq!(&flipped.buckets, &merged.buckets);
+        prop_assert_eq!(flipped.count, merged.count);
+    }
+}
