@@ -155,6 +155,23 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
             metrics.push((key.to_string(), value));
         }
     }
+    // The scenario-pack retention metrics (PR 10), present when the report
+    // is a `scenario_packs` one: per-pack fan-out retention (F subscribers
+    // sharing the open policy's merged plan vs. one) and the worst pack's
+    // retention relative to the smart-city baseline. The latter is also
+    // held to the absolute 0.5 floor below — no pack's merged plan may
+    // degrade out of family with the original scenario.
+    if let Some(rows) = report.get("pack_retention").and_then(Value::as_array) {
+        for row in rows {
+            let Some([name, retention]) = row.as_array() else { continue };
+            if let (Some(name), Some(retention)) = (name.as_str(), retention.as_f64()) {
+                metrics.push((format!("pack_retention_{name}"), retention));
+            }
+        }
+    }
+    if let Some(value) = report.get("pack_retention_vs_smart_city_min").and_then(Value::as_f64) {
+        metrics.push(("pack_retention_vs_smart_city_min".to_string(), value));
+    }
     metrics
 }
 
@@ -171,8 +188,11 @@ fn speedup_metrics(report: &Value) -> Vec<(String, f64)> {
 /// batched-routing PR, measured in deterministic virtual time so the floor
 /// holds on any machine), and instrumented ingest must keep at least 95%
 /// of telemetry-disabled ingest throughput (the observability-is-free pin
-/// from the telemetry PR).
-const ABSOLUTE_FLOORS: [(&str, f64); 7] = [
+/// from the telemetry PR), and the worst scenario pack's fan-out retention
+/// must stay within half of the smart-city baseline's (the packs-stay-in-
+/// family pin from the scenario-pack PR — plan sharing, not pack shape, is
+/// what pays for wide fan-out).
+const ABSOLUTE_FLOORS: [(&str, f64); 8] = [
     ("ingest_durable_vs_direct", 0.5),
     ("telemetry_overhead", 0.95),
     ("merged_retention_at_100", 1.0 / 3.0),
@@ -180,6 +200,7 @@ const ABSOLUTE_FLOORS: [(&str, f64); 7] = [
     ("fabric_monotonic_1_2", 1.0),
     ("fabric_monotonic_2_4", 1.0),
     ("fabric_monotonic_4_8", 1.0),
+    ("pack_retention_vs_smart_city_min", 0.5),
 ];
 
 fn main() -> ExitCode {

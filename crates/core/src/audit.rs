@@ -52,6 +52,16 @@ impl AuditEventKind {
     ];
 }
 
+impl AuditEventKind {
+    /// Parse a kind from its display name (`granted`,
+    /// `multiple-access-blocked`, …) — what scenario-pack oracles and other
+    /// data-driven audit checks use.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<AuditEventKind> {
+        AuditEventKind::ALL.into_iter().find(|kind| kind.to_string() == name)
+    }
+}
+
 impl std::fmt::Display for AuditEventKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -350,6 +350,19 @@ pub trait Backend: StreamBackend + AccessControl + PolicyAdmin {
     /// Audit events involving one subject.
     fn audit_events_for_subject(&self, subject: &str) -> Vec<TaggedAuditEvent>;
 
+    /// The audit trail folded into per-kind counts (keyed by the kind's
+    /// display name, see [`crate::AuditEventKind`]) — the oracle hook
+    /// scenario packs check their audit invariants against. Counts span the
+    /// whole backend; on a fabric, policy-lifecycle kinds therefore count
+    /// once per node while decision kinds count once per decision.
+    fn audit_kind_counts(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for tagged in self.audit_events() {
+            *counts.entry(tagged.event.kind.to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// A point-in-time health report: degraded nodes, sticky journal
     /// failures, replication lag and the fault-tolerance counters. The
     /// default implementation reports a perfectly healthy backend, which is

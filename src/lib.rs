@@ -52,7 +52,7 @@
 //!
 //! Scenario code, tests, feeds and benches written against `&dyn Backend`
 //! (or a generic `B: Backend + ?Sized`) run unchanged on any shape —
-//! `tests/backend_conformance.rs` executes one suite against all three,
+//! `tests/backend_conformance.rs` executes one suite against all four,
 //! and `examples/backend_swap.rs` is the same scenario twice with only the
 //! builder line changed.
 //!
@@ -107,7 +107,14 @@
 //!   transport;
 //! * `feed.pump_into(&engine, …)` / `feed.pump_into_fabric(&fabric, …)` →
 //!   one generic `feed.pump_into(&backend, …)` accepting any
-//!   [`StreamBackend`](exacml_plus::StreamBackend).
+//!   [`StreamBackend`](exacml_plus::StreamBackend);
+//! * the per-preset builder constructors `BackendBuilder::server()`,
+//!   `BackendBuilder::paper_testbed(n)` and
+//!   `BackendBuilder::public_cloud(n)` are `#[deprecated]`: the topology is
+//!   an orthogonal axis now, picked by name on any shape —
+//!   `BackendBuilder::local().topology(TopologyPreset::PaperTestbed)`,
+//!   `BackendBuilder::fabric(n).topology(TopologyPreset::PublicCloud)`,
+//!   and so on (see [`BackendBuilder::topology`]).
 //!
 //! # Workspace map
 //!
